@@ -1,0 +1,27 @@
+# Convenience targets. Everything works offline (NumPy is the only
+# runtime dependency; pytest/pytest-benchmark/hypothesis/scipy for tests).
+
+.PHONY: install test bench experiments examples lint all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	python -m repro run all
+
+examples:
+	python examples/quickstart.py
+	python examples/accelerator_design_space.py
+	python examples/distributed_scaleout.py
+	python examples/checkpointing_memory.py
+	python examples/characterize_and_export.py
+	python examples/plan_training_run.py
+	python examples/train_tiny_bert.py
+
+all: test bench experiments

@@ -1,0 +1,1 @@
+"""Figure/table regeneration benchmarks (pytest-benchmark)."""

@@ -1,0 +1,106 @@
+"""Extension studies beyond the paper's figures.
+
+Regenerates the Sec. 7 mode comparison, the ZeRO, windowed-attention,
+energy and pipeline-parallelism studies, with their shape criteria
+asserted.
+"""
+
+from repro.experiments import (energy_study, pipeline_study, sec7_modes,
+                               windowed_study, zero_study)
+
+from benchmarks.conftest import emit
+
+
+def test_bench_sec7_modes(benchmark):
+    profiles = benchmark(sec7_modes.run)
+    emit("Sec. 7 — pre-training vs fine-tuning vs inference",
+         sec7_modes.render(profiles))
+    by_mode = {p.mode: p for p in profiles}
+    assert by_mode["finetuning"].output < 0.01
+    assert by_mode["inference"].optimizer == 0.0
+    for p in profiles:
+        assert p.transformer > 0.75
+
+
+def test_bench_zero(benchmark):
+    rows = benchmark(zero_study.run)
+    emit("ZeRO optimizer-state partitioning", zero_study.render(rows))
+    for plain, zero, state_bytes in rows:
+        assert zero.optimizer_fraction < 0.5 * plain.optimizer_fraction
+        assert zero.communication_fraction > plain.communication_fraction
+        assert state_bytes < 2 * 336_000_000 * 4 / zero.devices * 1.1
+
+
+def test_bench_windowed(benchmark):
+    rows = benchmark(windowed_study.run)
+    emit("Windowed attention vs sequence length",
+         windowed_study.render(rows))
+    assert rows[-1].dense_share > 2 * rows[0].dense_share
+    assert rows[-1].iteration_speedup > 1.05
+
+
+def test_bench_energy(benchmark):
+    results = benchmark(energy_study.run)
+    emit("Iteration energy accounting", energy_study.render(results))
+    fp32, mp = results
+    assert mp.dynamic_j < fp32.dynamic_j
+    for r in results:
+        assert r.nmc_lamb_savings > 0.5
+
+
+def test_bench_pipeline(benchmark):
+    pairs = benchmark(pipeline_study.run)
+    emit("Pipeline vs tensor parallelism", pipeline_study.render(pairs))
+    for ts, pp in pairs:
+        assert ts.devices == pp.devices
+        # TS communication share grows with ways; PP bubble stays bounded.
+        assert pp.fraction("pipeline_bubble") < 0.25
+
+
+def test_bench_fused_attention(benchmark):
+    from repro.experiments import fused_attention_study
+
+    rows = benchmark(fused_attention_study.run)
+    emit("Kernel-fused attention vs eager",
+         fused_attention_study.render(rows))
+    assert all(row.speedup > 2.0 for row in rows)
+    assert rows[-1].traffic_ratio > 5 * rows[0].traffic_ratio
+
+
+def test_bench_transfer(benchmark):
+    from repro.experiments import transfer_study
+
+    rows = benchmark(transfer_study.run)
+    emit("Cross-device transferability (Sec. 7)",
+         transfer_study.render(rows))
+    by_balance = sorted(rows, key=lambda r: r.balance)
+    non_gemm = [r.non_gemm for r in by_balance]
+    assert non_gemm == sorted(non_gemm)
+
+
+def test_bench_optimized_stack(benchmark):
+    from repro.experiments import optimized_stack
+
+    steps = benchmark(optimized_stack.run)
+    emit("Sec. 6 optimizations stacked", optimized_stack.render(steps))
+    times = [s.iteration_s for s in steps]
+    assert times == sorted(times, reverse=True)
+    assert 1.2 < steps[-1].speedup_vs(steps[0]) < 1.7
+
+
+def test_bench_scaling(benchmark):
+    from repro.experiments import scaling_trends
+
+    rows = benchmark(scaling_trends.run)
+    emit("Future-Transformer scaling trends", scaling_trends.render(rows))
+    lamb = [row.lamb for row in rows]
+    assert lamb == sorted(lamb)
+    assert not rows[-1].fits_32gb
+
+
+def test_bench_robustness(benchmark):
+    from repro.experiments import robustness
+
+    rows = benchmark(robustness.run)
+    emit("Conclusions under device perturbation", robustness.render(rows))
+    assert all(row.all_hold for row in rows)

@@ -1,0 +1,26 @@
+"""Fig. 11: per-GPU iteration breakdown under multi-device training.
+
+Bands (paper): D2 ~= S1 (overlap hides DP communication); D1 exposes ~19%;
+T1 ~9% comm with LAMB halved; T2 ~42% comm with LAMB negligible and the
+replicated DR+RC+LN share growing.
+"""
+
+from repro.experiments import fig11
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig11(benchmark):
+    timelines = benchmark(fig11.run)
+    emit("Fig. 11 — multi-GPU per-device breakdown", fig11.render(timelines))
+
+    by_tag = {t.label.split(" ")[0]: t for t in timelines}
+    assert by_tag["D2"].total < 1.15 * by_tag["S1"].total
+    assert 0.12 < by_tag["D1"].communication_fraction < 0.32
+    assert 0.05 < by_tag["T1"].communication_fraction < 0.20
+    assert (by_tag["T1"].optimizer_fraction
+            < 0.8 * by_tag["S1"].optimizer_fraction)
+    assert 0.30 < by_tag["T2"].communication_fraction < 0.55
+    assert by_tag["T2"].optimizer_fraction < 0.04
+    assert (by_tag["T2"].fraction("dr_rc_ln_replicated")
+            > by_tag["T1"].fraction("dr_rc_ln_replicated"))

@@ -1,0 +1,25 @@
+"""Fig. 12: kernel fusion (LayerNorm, Adam) and QKV GEMM fusion.
+
+Bands (paper): LN fusion 6-8x on kernels/traffic/runtime; Adam ~250x
+kernels but only 6-8x traffic/runtime; QKV fusion up to ~62% faster, more
+at small inputs.
+"""
+
+from repro.experiments import fig12
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark(fig12.run)
+    emit("Fig. 12 — fusion impact", fig12.render(result))
+
+    ln, adam = result.layernorm, result.adam
+    assert 5.0 <= ln.kernel_ratio <= 9.0
+    assert 5.0 <= ln.bytes_ratio <= 9.0
+    assert 5.0 <= ln.time_ratio <= 9.0
+    assert 150 <= adam.kernel_ratio <= 350
+    assert 4.0 <= adam.bytes_ratio <= 9.0
+    assert 0.4 < result.best_qkv_improvement < 1.5
+    assert (result.qkv_forward[0].improvement
+            > result.qkv_forward[-1].improvement)

@@ -1,0 +1,24 @@
+"""Fig. 3: high-level runtime breakdown across the five operating points.
+
+Bands (paper): Transformer 68-85%, LAMB 7-25% (rising as tokens shrink and
+under MP), output 3-7%, embedding ~0.
+"""
+
+from repro.experiments import fig3
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig3(benchmark):
+    rows = benchmark(fig3.run)
+    emit("Fig. 3 — runtime breakdown of BERT pre-training",
+         fig3.render(rows))
+
+    by_label = {r.label: r for r in rows}
+    for row in rows:
+        assert 0.60 < row.transformer < 0.90
+        assert row.embedding < 0.02
+        assert 0.02 < row.output < 0.08
+    assert 0.06 < by_label["Ph1-B32-FP32"].optimizer < 0.11
+    assert 0.20 < by_label["Ph1-B4-FP32"].optimizer < 0.32
+    assert 0.14 < by_label["Ph1-B32-FP16"].optimizer < 0.22

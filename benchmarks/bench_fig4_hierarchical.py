@@ -1,0 +1,22 @@
+"""Fig. 4: hierarchical Transformer-layer breakdown, FP32 vs. MP.
+
+Bands (paper, FP32 -> MP): linear+FC 57% -> 42%; GEMM total 55% -> 36%;
+GeLU 13% -> 15%; DR+RC+LN 5% -> 9%; attention ops 7% -> 9%.
+"""
+
+from repro.experiments import fig4
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig4(benchmark):
+    rows = benchmark(fig4.run)
+    emit("Fig. 4 — hierarchical breakdown (Ph1-B32)", fig4.render(rows))
+
+    fp32, mixed = rows["fp32"], rows["mixed"]
+    assert 0.50 < fp32.linear_and_fc < 0.62
+    assert mixed.linear_and_fc < fp32.linear_and_fc - 0.08
+    assert 0.10 < fp32.gemm_total - mixed.gemm_total < 0.25
+    assert mixed.fc_gelu > fp32.fc_gelu
+    assert mixed.dr_rc_ln > fp32.dr_rc_ln
+    assert mixed.attention_ops > fp32.attention_ops

@@ -1,0 +1,25 @@
+"""Fig. 6: arithmetic intensity of every training GEMM in one layer.
+
+Shape (paper): FC GEMMs >> linear GEMMs >> attention batched GEMMs; the
+batched GEMMs sit below the memory roofline (Takeaway 6).
+"""
+
+from repro.experiments import fig6
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig6(benchmark):
+    records = benchmark(fig6.run)
+    emit("Fig. 6 — arithmetic intensity of BERT training GEMMs",
+         fig6.render(records))
+
+    def intensity(op, pass_name="fwd"):
+        return next(r for r in records if r.operation == op
+                    and r.pass_name == pass_name).intensity
+
+    assert intensity("fc1") > intensity("linear") > intensity("attn_score")
+    assert all(r.memory_bound for r in records
+               if r.operation in ("attn_score", "attn_output"))
+    assert not any(r.memory_bound for r in records
+                   if r.operation in ("fc1", "fc2"))

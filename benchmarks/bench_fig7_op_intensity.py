@@ -1,0 +1,25 @@
+"""Fig. 7: ops/byte and normalized bandwidth demand per operation group.
+
+Shape (paper): all non-GEMM groups below 1 op/byte with high bandwidth
+demand; FC GEMMs demand ~20% of the reference bandwidth, attention batched
+GEMMs several times more.
+"""
+
+from repro.experiments import fig7
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig7(benchmark):
+    records = benchmark(fig7.run)
+    emit("Fig. 7 — op-group intensity and bandwidth demand",
+         fig7.render(records))
+
+    groups = {r.label: r for r in records}
+    for label in ("LAMBStage1", "LAMBStage2", "Scale+Mask+DR+SM", "GeLU",
+                  "DR+RC+LN", "EW multiply"):
+        assert groups[label].intensity < 1.0
+        assert groups[label].normalized_bandwidth > 0.5
+    assert groups["FC GEMMs"].normalized_bandwidth < 0.30
+    assert (groups["Attn B-GEMMs"].normalized_bandwidth
+            > 3 * groups["FC GEMMs"].normalized_bandwidth)

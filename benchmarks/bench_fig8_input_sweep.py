@@ -1,0 +1,23 @@
+"""Fig. 8: input-size sweep (mini-batch B and sequence length n).
+
+Shape (paper): LAMB 25% -> 7% as B goes 4 -> 32; attention ops 7% -> 17%
+(B-GEMMs 3% -> 8%) moving tokens from B to n at equal token count.
+"""
+
+from repro.experiments import fig8
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig8(benchmark):
+    rows = benchmark(fig8.run)
+    emit("Fig. 8 — input-size sweep", fig8.render(rows))
+
+    by_label = {r.label: r for r in rows}
+    assert (by_label["Ph1-B4-FP32"].optimizer
+            > by_label["Ph1-B16-FP32"].optimizer
+            > by_label["Ph1-B32-FP32"].optimizer)
+    assert (by_label["Ph2-B4-FP32"].attention_ops
+            > 1.8 * by_label["Ph1-B16-FP32"].attention_ops)
+    assert (by_label["Ph2-B4-FP32"].bgemm
+            > 1.7 * by_label["Ph1-B16-FP32"].bgemm)

@@ -1,0 +1,31 @@
+"""Fig. 9: Transformer layer-size sweep (C1 / C2 / C3).
+
+Shape (paper): linear+FC GEMM and LAMB proportions grow with layer width
+(quadratic scaling); FC grows relative to attention; layer-count scaling
+leaves the in-layer breakdown unchanged.
+"""
+
+from repro.experiments import fig9
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig9_width(benchmark):
+    rows = benchmark(fig9.run)
+    emit("Fig. 9 — layer-width sweep (B=8)", fig9.render(rows))
+
+    by_name = {r.config_name: r for r in rows}
+    assert (by_name["C1"].regions.linear_and_fc
+            < by_name["C2"].regions.linear_and_fc
+            < by_name["C3"].regions.linear_and_fc)
+    assert (by_name["C1"].optimizer < by_name["C2"].optimizer
+            < by_name["C3"].optimizer)
+    assert (by_name["C3"].fc_to_attention > by_name["C1"].fc_to_attention)
+
+
+def test_bench_fig9_depth(benchmark):
+    rows = benchmark(fig9.run_depth_sweep)
+    emit("Fig. 9 (companion) — layer-count sweep", fig9.render(rows))
+    shallow, _, deep = rows
+    assert abs(deep.regions.linear_and_fc
+               - shallow.regions.linear_and_fc) < 0.06

@@ -1,0 +1,21 @@
+"""Sec. 4: activation checkpointing overhead.
+
+Bands (paper): ~33% more kernels, ~27% more runtime; LAMB share drops;
+in-layer breakdown stable.
+"""
+
+from repro.experiments import sec4
+
+from benchmarks.conftest import emit
+
+
+def test_bench_sec4(benchmark):
+    result = benchmark(sec4.run)
+    emit("Sec. 4 — activation checkpointing", sec4.render(result))
+
+    assert 0.25 < result.kernel_overhead < 0.45
+    assert 0.20 < result.runtime_overhead < 0.40
+    assert result.runtime_overhead < result.kernel_overhead
+    assert result.lamb_ckpt < result.lamb_base
+    assert result.region_shift < 0.05
+    assert result.activation_savings > 0.5

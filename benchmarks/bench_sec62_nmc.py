@@ -1,0 +1,21 @@
+"""Sec. 6.2.1: near-memory compute for the LAMB optimizer.
+
+Bands (paper): LAMB ~3.8x faster than the optimistic GPU baseline;
+end-to-end training 5-22% faster (our small-batch points run a touch
+above).
+"""
+
+from repro.experiments import nmc_study
+
+from benchmarks.conftest import emit
+
+
+def test_bench_nmc(benchmark):
+    results = benchmark(nmc_study.run)
+    emit("Sec. 6.2.1 — LAMB on near-memory compute",
+         nmc_study.render(results))
+
+    for r in results:
+        assert 3.2 < r.lamb_speedup_vs_optimistic < 4.4
+    gains = [r.end_to_end_improvement for r in results]
+    assert min(gains) > 0.04 and max(gains) < 0.30

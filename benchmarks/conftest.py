@@ -1,0 +1,17 @@
+"""Shared fixtures for the figure-regeneration benchmarks."""
+
+import pytest
+
+from repro.hw import mi100
+
+
+@pytest.fixture(scope="session")
+def device():
+    """The frozen MI100-like device every figure is regenerated on."""
+    return mi100()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a rendered figure/table under a banner (visible with -s)."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}\n{body}\n")

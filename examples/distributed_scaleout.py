@@ -1,0 +1,78 @@
+"""Plan multi-GPU BERT training: data parallelism vs. tensor slicing.
+
+Reproduces the Fig. 11 configurations and then goes beyond the paper:
+scales tensor slicing across way counts, compares interconnects, and
+evaluates the hybrid (TS-inside-node x DP-across-nodes) layout.
+
+Run:
+    python examples/distributed_scaleout.py
+"""
+
+from repro import BERT_LARGE, Precision, training_point
+from repro.distributed import (PCIE4, XGMI, data_parallel_timeline,
+                               hybrid_timeline, single_device_timeline,
+                               tensor_slicing_timeline)
+from repro.experiments import fig11
+from repro.hw import mi100
+from repro.report import format_table
+
+
+def main() -> None:
+    device = mi100()
+    b16 = training_point(1, 16, Precision.FP32)
+
+    print("Fig. 11 — the paper's five configurations (PCIe 4.0)")
+    print(fig11.render(fig11.run()))
+    print()
+
+    print("tensor-slicing scaling: communication squeezes out compute")
+    rows = []
+    for ways in (1, 2, 4, 8, 16):
+        if ways == 1:
+            timeline = single_device_timeline(BERT_LARGE, b16, device)
+        else:
+            timeline = tensor_slicing_timeline(BERT_LARGE, b16, device,
+                                               PCIE4, ways)
+        rows.append((f"{ways}-way", f"{timeline.total * 1e3:.0f} ms",
+                     f"{timeline.communication_fraction:.1%}",
+                     f"{timeline.optimizer_fraction:.1%}"))
+    print(format_table(("slicing", "per-iteration", "comm share",
+                        "LAMB share"), rows))
+    print()
+
+    print("interconnect sensitivity (8-way TS)")
+    rows = []
+    for link in (PCIE4, XGMI):
+        timeline = tensor_slicing_timeline(BERT_LARGE, b16, device, link, 8)
+        rows.append((link.name, f"{timeline.total * 1e3:.0f} ms",
+                     f"{timeline.communication_fraction:.1%}"))
+    print(format_table(("link", "per-iteration", "comm share"), rows))
+    print()
+
+    print("full planner: every (TS x PP x DP) factorization of 32 GPUs")
+    from repro.distributed import plan, render_plan
+    layouts = plan(BERT_LARGE, b16, device, devices=32, intra_link=XGMI,
+                   inter_link=PCIE4, micro_batches=8)
+    print(render_plan(layouts[:6], b16.tokens_per_iteration))
+    print()
+
+    print("128 GPUs, three layouts (per-device B=16)")
+    layouts = [
+        data_parallel_timeline(BERT_LARGE, b16, device, PCIE4, 128,
+                               overlap=True, label="128-way DP"),
+        hybrid_timeline(BERT_LARGE, b16, device, ts_link=XGMI,
+                        dp_link=PCIE4, ts_ways=4, dp_replicas=32,
+                        label="4-way TS x 32-way DP"),
+        hybrid_timeline(BERT_LARGE, b16, device, ts_link=XGMI,
+                        dp_link=PCIE4, ts_ways=8, dp_replicas=16,
+                        label="8-way TS x 16-way DP"),
+    ]
+    rows = [(t.label, f"{t.total * 1e3:.0f} ms",
+             f"{t.communication_fraction:.1%}",
+             f"{t.optimizer_fraction:.1%}") for t in layouts]
+    print(format_table(("layout", "per-iteration", "comm share",
+                        "LAMB share"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Train a tiny BERT end to end on synthetic data — for real.
+
+Uses the executable NumPy substrate: autograd, the full pre-training model
+(MLM + NSP heads), the LAMB optimizer with linear-warmup scheduling, and
+the Markov-chain corpus whose bigram structure the model can actually
+learn.  Prints the loss curve and shows it dropping below the
+uniform-guess baseline.
+
+Run:
+    python examples/train_tiny_bert.py
+"""
+
+import numpy as np
+
+from repro import BERT_TINY
+from repro.data import MarkovCorpus, PreTrainingDataset, Vocab
+from repro.model import BertForPreTraining
+from repro.optim import Lamb
+from repro.train import Trainer, linear_warmup
+
+# LAMB is built for large-batch training (Sec. 2.4): its trust ratio
+# shrinks steps while parameter norms are small, so the tiny model wants a
+# relatively large base LR, a bigger batch and a few hundred steps.
+STEPS = 400
+BATCH = 32
+BASE_LR = 3e-2
+
+
+def main() -> None:
+    vocab = Vocab(size=BERT_TINY.vocab_size)
+    corpus = MarkovCorpus(vocab, seed=0, branching=2)
+    dataset = PreTrainingDataset(vocab, corpus, seq_len=32, seed=1)
+
+    model = BertForPreTraining(BERT_TINY, seed=2, dropout_p=0.0)
+    print(f"model: {BERT_TINY.name} "
+          f"({model.num_parameters() / 1e3:.0f}k parameters), "
+          f"optimizer: LAMB")
+
+    optimizer = Lamb(model.parameters(), lr=BASE_LR, weight_decay=0.0)
+    trainer = Trainer(model, optimizer, dataset,
+                      lr_schedule=lambda step: linear_warmup(
+                          step, base_lr=BASE_LR, warmup_steps=20,
+                          total_steps=STEPS))
+
+    uniform = np.log(BERT_TINY.vocab_size) + np.log(2)
+    print(f"uniform-guess baseline loss: {uniform:.3f}\n")
+    history = trainer.train(batch_size=BATCH, steps=STEPS, log_every=50)
+
+    first = float(np.mean(history.losses()[:5]))
+    last = float(np.mean(history.losses()[-5:]))
+    total_s = sum(s.seconds for s in history.steps)
+    print(f"\nloss: {first:.3f} -> {last:.3f} over {STEPS} steps "
+          f"({total_s:.1f}s wall clock)")
+    if last < uniform - 1.0:
+        print("the model learned the corpus' bigram structure "
+              "(well below the uniform baseline)")
+    else:
+        print("warning: loss did not clearly beat the baseline")
+
+    # Where the real NumPy step spends its time (the executable-substrate
+    # analogue of the paper's Fig. 3 phases).
+    from repro.profiler import profile_steps, summarize_wallclock
+    from repro.train import evaluate
+
+    measured = profile_steps(model, optimizer,
+                             dataset.batches(BATCH, 4), warmup=1)
+    stats = summarize_wallclock(measured)
+    print(f"\nmeasured step breakdown: "
+          f"forward {stats['forward_fraction']:.0%}, "
+          f"backward {stats['backward_fraction']:.0%}, "
+          f"LAMB update {stats['optimizer_fraction']:.0%}")
+
+    result = evaluate(model, dataset, batch_size=BATCH, batches=4)
+    print(f"held-out accuracy: MLM top-1 {result.mlm_accuracy:.1%} "
+          f"(chance {1 / BERT_TINY.vocab_size:.2%}), "
+          f"NSP {result.nsp_accuracy:.1%} (chance 50%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Calibration sanity check: print modeled breakdowns vs. paper bands."""
+from repro.config import BERT_LARGE, FIG3_POINTS
+from repro.hw import mi100
+from repro.profiler import (profile_trace, region_breakdown, summarize,
+                            transformer_breakdown)
+from repro.trace import build_iteration_trace
+
+device = mi100()
+for training in FIG3_POINTS:
+    trace = build_iteration_trace(BERT_LARGE, training)
+    profile = profile_trace(trace, device)
+    s = summarize(profile)
+    print(f"\n== {training.label}  total={s['total_time_s']*1e3:.1f} ms  "
+          f"kernels={len(trace)}")
+    print("  transformer={transformer:.1%} output={output:.1%} "
+          "embedding={embedding:.1%} optimizer={optimizer:.1%} "
+          "gemm={gemm:.1%} non_gemm={non_gemm:.1%}".format(**s))
+    for region, entry in region_breakdown(profile).items():
+        print(f"    {entry.label:45s} {entry.fraction:6.1%}")
+    for entry in transformer_breakdown(profile):
+        print(f"  [transformer] {entry.label:12s} {entry.fraction:6.1%}")

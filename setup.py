@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs where `wheel` is absent.
+
+Offline environments without the `wheel` package cannot build PEP 517
+editable wheels; `pip install -e . --no-build-isolation --no-use-pep517`
+uses this shim instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

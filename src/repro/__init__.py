@@ -1,0 +1,32 @@
+"""Reproduction of "Demystifying BERT: System Design Implications"
+(Pati, Aga, Jayasena, Sinclair — IISWC 2022).
+
+The package provides, from scratch:
+
+* an executable NumPy BERT (autograd, model, optimizers, training loop);
+* an architecture-agnostic kernel-trace generator for one training
+  iteration, with Table 2b's exact GEMM shapes;
+* a calibrated analytical GPU model (roofline + tile/wave GEMM timing);
+* the paper's analytical multi-device (DP / tensor-slicing), kernel-fusion,
+  activation-checkpointing and near-memory-compute studies;
+* one experiment module per paper figure/table (``repro.experiments``).
+
+Quickstart::
+
+    from repro import BERT_LARGE, training_point, Precision
+    from repro.experiments import fig3
+    rows = fig3.run()
+    print(fig3.render(rows))
+"""
+
+from repro.config import (BERT_BASE, BERT_LARGE, BERT_TINY, C1, C2, C3,
+                          FIG3_POINTS, BertConfig, Precision, TrainingConfig,
+                          training_point)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BERT_BASE", "BERT_LARGE", "BERT_TINY", "BertConfig", "C1", "C2", "C3",
+    "FIG3_POINTS", "Precision", "TrainingConfig", "training_point",
+    "__version__",
+]

@@ -1,0 +1,106 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig3
+    python -m repro run all
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Demystifying BERT: System Design "
+                    "Implications' (IISWC 2022)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run = commands.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. fig3, or 'all'")
+
+    export = commands.add_parser(
+        "export", help="run an experiment and write its rows as CSV")
+    export.add_argument("experiment", help="experiment id, e.g. fig3")
+    export.add_argument("path", help="destination CSV file")
+
+    commands.add_parser("info", help="model/device summary")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import REGISTRY
+
+    width = max(len(eid) for eid in REGISTRY)
+    for eid, experiment in REGISTRY.items():
+        print(f"{eid.ljust(width)}  {experiment.description}")
+    return 0
+
+
+def _cmd_run(experiment_id: str) -> int:
+    from repro.experiments import REGISTRY, run_experiment
+
+    ids = list(REGISTRY) if experiment_id == "all" else [experiment_id]
+    for eid in ids:
+        title = f"{eid}: {REGISTRY[eid].description}" if eid in REGISTRY else eid
+        print(f"\n{title}\n{'-' * len(title)}")
+        print(run_experiment(eid))
+    return 0
+
+
+def _cmd_info() -> int:
+    from repro.config import BERT_BASE, BERT_LARGE, C3
+    from repro.hw import mi100
+    from repro.ops.base import DType
+
+    device = mi100()
+    print("models:")
+    for config in (BERT_BASE, BERT_LARGE, C3):
+        print(f"  {config.name:12s} N={config.num_layers:3d} "
+              f"d={config.d_model:5d} h={config.num_heads:3d} "
+              f"params={config.total_parameters() / 1e6:7.1f}M")
+    print(f"device: {device.name}")
+    print(f"  FP32 GEMM effective peak: "
+          f"{device.gemm_engine(DType.FP32).effective_peak / 1e12:.1f} "
+          "TFLOP/s")
+    print(f"  FP16 GEMM effective peak: "
+          f"{device.gemm_engine(DType.FP16).effective_peak / 1e12:.1f} "
+          "TFLOP/s")
+    print(f"  memory bandwidth: {device.mem_bandwidth_gbps:.0f} GB/s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        try:
+            return _cmd_run(args.experiment)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+    if args.command == "export":
+        from repro.experiments.sweeps import export_experiment_csv
+        try:
+            export_experiment_csv(args.experiment, args.path)
+        except (KeyError, TypeError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(f"wrote {args.path}")
+        return 0
+    if args.command == "info":
+        return _cmd_info()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

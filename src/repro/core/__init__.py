@@ -1,0 +1,9 @@
+"""High-level characterization API (the paper's contribution as a tool)."""
+
+from repro.core.advisor import Advice, ConfigOption, advise
+from repro.core.advisor import render as render_advice
+from repro.core.characterize import (Characterization, GemmClassSummary,
+                                     characterize)
+
+__all__ = ["Advice", "Characterization", "ConfigOption", "GemmClassSummary",
+           "advise", "characterize", "render_advice"]

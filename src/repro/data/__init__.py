@@ -1,0 +1,11 @@
+"""Synthetic pre-training data: corpus, MLM/NSP masking, batching."""
+
+from repro.data.batching import (IGNORE_INDEX, PreTrainingBatch,
+                                 PreTrainingDataset)
+from repro.data.packing import (PackedSequence, SequencePacker,
+                                first_fit_decreasing, packed_attention_bias)
+from repro.data.synthetic import MarkovCorpus, Vocab
+
+__all__ = ["IGNORE_INDEX", "MarkovCorpus", "PackedSequence",
+           "PreTrainingBatch", "PreTrainingDataset", "SequencePacker",
+           "Vocab", "first_fit_decreasing", "packed_attention_bias"]

@@ -1,0 +1,148 @@
+"""MLM/NSP example construction and fixed-shape batching.
+
+Builds the exact input structure of BERT pre-training: ``[CLS] A [SEP] B
+[SEP]`` with segment ids, 15% MLM masking with the 80/10/10
+mask/random/keep split, and is-next labels for NSP.  Within a phase every
+batch has the same shape (Sec. 3.1.4), so a single batch is representative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import MarkovCorpus, Vocab
+
+#: Label value for positions the MLM loss ignores.
+IGNORE_INDEX = -100
+
+
+@dataclass(frozen=True)
+class PreTrainingBatch:
+    """One fixed-shape pre-training batch.
+
+    Attributes:
+        token_ids: ``(B, n)`` input ids after masking.
+        segment_ids: ``(B, n)`` sentence A/B ids.
+        padding_mask: ``(B, n)`` True at real (non-pad) positions.
+        mlm_labels: ``(B, n)`` original ids at masked positions,
+            :data:`IGNORE_INDEX` elsewhere.
+        nsp_labels: ``(B,)`` 1 if sentence B follows A.
+    """
+
+    token_ids: np.ndarray
+    segment_ids: np.ndarray
+    padding_mask: np.ndarray
+    mlm_labels: np.ndarray
+    nsp_labels: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.token_ids.shape[0]
+
+    @property
+    def seq_len(self) -> int:
+        return self.token_ids.shape[1]
+
+    def masked_positions(self) -> int:
+        """Count of positions carrying an MLM label."""
+        return int((self.mlm_labels != IGNORE_INDEX).sum())
+
+
+class PreTrainingDataset:
+    """Streams fixed-shape MLM+NSP batches from a synthetic corpus.
+
+    Args:
+        vocab: vocabulary layout.
+        corpus: sentence sampler.
+        seq_len: sequence length ``n``.
+        masked_fraction: fraction of content tokens given MLM labels.
+        seed: RNG seed for masking/pairing decisions.
+    """
+
+    def __init__(self, vocab: Vocab, corpus: MarkovCorpus, *,
+                 seq_len: int, masked_fraction: float = 0.15,
+                 seed: int = 0):
+        if seq_len < 8:
+            raise ValueError("seq_len must be at least 8")
+        if not 0.0 < masked_fraction < 1.0:
+            raise ValueError("masked_fraction must be in (0, 1)")
+        self.vocab = vocab
+        self.corpus = corpus
+        self.seq_len = seq_len
+        self.masked_fraction = masked_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def example(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """One unmasked example: (token_ids, segment_ids, is_next)."""
+        content_len = self.seq_len - 3  # [CLS], two [SEP]
+        is_next = int(self._rng.random() < 0.5)
+        first, second = self.corpus.sentence_pair(content_len, bool(is_next))
+
+        v = self.vocab
+        tokens = np.concatenate((
+            [v.cls], first, [v.sep], second, [v.sep]))
+        segments = np.concatenate((
+            np.zeros(len(first) + 2, dtype=np.int64),
+            np.ones(len(second) + 1, dtype=np.int64)))
+        pad = self.seq_len - len(tokens)
+        if pad:
+            tokens = np.concatenate((tokens,
+                                     np.full(pad, v.pad, dtype=np.int64)))
+            segments = np.concatenate((segments,
+                                       np.zeros(pad, dtype=np.int64)))
+        return tokens, segments, is_next
+
+    def _apply_masking(self, tokens: np.ndarray,
+                       maskable: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The 80/10/10 MLM corruption.
+
+        Returns:
+            (corrupted tokens, labels with IGNORE_INDEX at unmasked spots).
+        """
+        labels = np.full_like(tokens, IGNORE_INDEX)
+        candidates = np.flatnonzero(maskable)
+        n_mask = max(1, int(round(len(candidates) * self.masked_fraction)))
+        chosen = self._rng.choice(candidates, size=n_mask, replace=False)
+        labels[chosen] = tokens[chosen]
+
+        corrupted = tokens.copy()
+        rolls = self._rng.random(n_mask)
+        v = self.vocab
+        for position, roll in zip(chosen, rolls):
+            if roll < 0.8:
+                corrupted[position] = v.mask
+            elif roll < 0.9:
+                corrupted[position] = int(self._rng.integers(
+                    v.first_regular, v.size))
+            # else: keep the original token (but still predict it).
+        return corrupted, labels
+
+    def batch(self, batch_size: int) -> PreTrainingBatch:
+        """Sample one fixed-shape batch."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        v = self.vocab
+        token_rows, segment_rows, label_rows, nsp = [], [], [], []
+        for _ in range(batch_size):
+            tokens, segments, is_next = self.example()
+            special = np.isin(tokens, (v.pad, v.cls, v.sep))
+            corrupted, labels = self._apply_masking(tokens, ~special)
+            token_rows.append(corrupted)
+            segment_rows.append(segments)
+            label_rows.append(labels)
+            nsp.append(is_next)
+        token_ids = np.stack(token_rows)
+        return PreTrainingBatch(
+            token_ids=token_ids,
+            segment_ids=np.stack(segment_rows),
+            padding_mask=token_ids != v.pad,
+            mlm_labels=np.stack(label_rows),
+            nsp_labels=np.asarray(nsp, dtype=np.int64),
+        )
+
+    def batches(self, batch_size: int, count: int):
+        """Yield ``count`` batches."""
+        for _ in range(count):
+            yield self.batch(batch_size)

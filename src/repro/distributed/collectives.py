@@ -1,0 +1,52 @@
+"""Collective-communication cost models.
+
+Ring AllReduce (Gibiansky [28], the algorithm the paper's DP model uses):
+each of ``D`` devices sends and receives ``2 * (D-1) / D`` of the payload
+across ``2 * (D-1)`` pipeline steps (reduce-scatter + all-gather).
+"""
+
+from __future__ import annotations
+
+from repro.distributed.network import LinkSpec
+
+
+def ring_allreduce_time(n_bytes: int, devices: int, link: LinkSpec) -> float:
+    """Ring AllReduce completion time.
+
+    Args:
+        n_bytes: payload size per device (the gradient tensor size).
+        devices: ring size ``D``.
+        link: per-hop link spec.
+
+    Returns:
+        Seconds until every device holds the reduced payload.  One device
+        is a no-op.
+    """
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be non-negative")
+    if devices == 1 or n_bytes == 0:
+        return 0.0
+    steps = 2 * (devices - 1)
+    chunk = n_bytes / devices
+    return steps * (link.latency_s + chunk / link.bandwidth)
+
+
+def allgather_time(n_bytes: int, devices: int, link: LinkSpec) -> float:
+    """Ring AllGather of ``n_bytes`` per device."""
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    if devices == 1 or n_bytes == 0:
+        return 0.0
+    steps = devices - 1
+    return steps * (link.latency_s + n_bytes / link.bandwidth)
+
+
+def broadcast_time(n_bytes: int, devices: int, link: LinkSpec) -> float:
+    """Pipelined ring broadcast."""
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    if devices == 1 or n_bytes == 0:
+        return 0.0
+    return (devices - 1) * link.latency_s + n_bytes / link.bandwidth

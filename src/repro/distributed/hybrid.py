@@ -1,0 +1,55 @@
+"""Hybrid data-parallel x tensor-slicing training (Sec. 2.5).
+
+``M``-way tensor slicing inside each node, replicated across ``D`` data-
+parallel groups: ``M * D`` devices total.  Per-device compute and the
+serialized TS AllReduces come from the tensor-slicing model; on top, each
+device data-parallel-reduces its *shard's* gradients across the ``D``
+replicas (overlappable, as in plain DP).
+"""
+
+from __future__ import annotations
+
+from repro.config import BertConfig, TrainingConfig
+from repro.distributed.collectives import ring_allreduce_time
+from repro.distributed.network import LinkSpec
+from repro.distributed.tensor_slicing import (sliced_parameter_inventory,
+                                              tensor_slicing_timeline)
+from repro.distributed.timeline import DeviceTimeline
+from repro.hw.device import DeviceModel
+
+
+def hybrid_timeline(model: BertConfig, training: TrainingConfig,
+                    device: DeviceModel, *, ts_link: LinkSpec,
+                    dp_link: LinkSpec, ts_ways: int, dp_replicas: int,
+                    overlap_fraction: float = 0.9,
+                    label: str | None = None) -> DeviceTimeline:
+    """Per-GPU breakdown of hybrid ``ts_ways x dp_replicas`` training.
+
+    Args:
+        ts_link: intra-group (tensor-slicing) link — usually the fast one.
+        dp_link: cross-group (data-parallel) link.
+        overlap_fraction: fraction of DP gradient communication hidden
+            behind backprop (the per-layer pipeline of the DP model,
+            summarized as a coefficient here since the shard timeline
+            interleaves with TS AllReduces).
+    """
+    if dp_replicas < 1:
+        raise ValueError("dp_replicas must be >= 1")
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError("overlap_fraction must be in [0, 1]")
+    base = tensor_slicing_timeline(model, training, device, ts_link, ts_ways)
+    buckets = dict(base.buckets)
+
+    if dp_replicas > 1:
+        grad_bytes = sum(
+            t.n_elements for t in sliced_parameter_inventory(model, ts_ways)
+        ) * training.precision.activation_bytes
+        dp_time = ring_allreduce_time(grad_bytes, dp_replicas, dp_link)
+        buckets["communication"] += dp_time * (1.0 - overlap_fraction)
+
+    devices = ts_ways * dp_replicas
+    return DeviceTimeline(
+        label=label or (f"hybrid TS{ts_ways} x DP{dp_replicas}, "
+                        f"B={training.batch_size}"),
+        devices=devices, per_device_batch=training.batch_size,
+        buckets=buckets)

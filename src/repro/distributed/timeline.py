@@ -1,0 +1,58 @@
+"""Per-device execution timeline shared by the DP and TS models (Fig. 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ops.base import Component
+from repro.profiler.profiler import Profile
+
+#: Bucket display order of the Fig. 11 bars.
+BUCKET_ORDER = ("transformer", "dr_rc_ln_replicated", "output", "embedding",
+                "optimizer", "communication")
+
+
+@dataclass(frozen=True)
+class DeviceTimeline:
+    """One device's iteration breakdown in a distributed configuration.
+
+    Attributes:
+        label: configuration label (e.g. ``"D2 (DP, B=16, overlap)"``).
+        devices: total devices participating.
+        per_device_batch: mini-batch ``B`` each device processes.
+        buckets: seconds per bucket; ``communication`` is *exposed* (not
+            overlapped) time only.
+    """
+
+    label: str
+    devices: int
+    per_device_batch: int
+    buckets: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+    def fraction(self, bucket: str) -> float:
+        """Share of iteration time in ``bucket``."""
+        total = self.total
+        return self.buckets.get(bucket, 0.0) / total if total else 0.0
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.fraction("communication")
+
+    @property
+    def optimizer_fraction(self) -> float:
+        return self.fraction("optimizer")
+
+
+def compute_buckets(profile: Profile) -> dict[str, float]:
+    """Component-level time buckets of a single-device profile."""
+    return {
+        "transformer": profile.time_of(component=Component.TRANSFORMER),
+        "output": profile.time_of(component=Component.OUTPUT),
+        "embedding": profile.time_of(component=Component.EMBEDDING),
+        "optimizer": profile.time_of(component=Component.OPTIMIZER),
+        "communication": 0.0,
+    }

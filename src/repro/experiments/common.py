@@ -1,0 +1,44 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Every experiment runs against the same frozen MI100-like device model —
+there is no per-figure tuning (DESIGN.md Sec. 5).  Traces and profiles are
+memoized because several figures share operating points.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.config import BertConfig, TrainingConfig
+from repro.hw.device import DeviceModel, mi100
+from repro.profiler.profiler import Profile, profile_trace
+from repro.trace.bert_trace import build_iteration_trace
+from repro.trace.builder import Trace
+
+
+def default_device() -> DeviceModel:
+    """The frozen device every experiment is evaluated on."""
+    return mi100()
+
+
+@lru_cache(maxsize=64)
+def _cached(model: BertConfig, training: TrainingConfig,
+            device_name: str) -> tuple[Trace, Profile]:
+    device = default_device()
+    if device.name != device_name:
+        raise ValueError("cache only supports the default device")
+    trace = build_iteration_trace(model, training)
+    return trace, profile_trace(trace.kernels, device)
+
+
+def run_point(model: BertConfig, training: TrainingConfig,
+              device: DeviceModel | None = None) -> tuple[Trace, Profile]:
+    """Trace + profile of one operating point.
+
+    Results are cached for the default device; custom devices are profiled
+    directly.
+    """
+    if device is None or device.name == default_device().name:
+        return _cached(model, training, default_device().name)
+    trace = build_iteration_trace(model, training)
+    return trace, profile_trace(trace.kernels, device)

@@ -1,0 +1,59 @@
+"""Fig. 11: per-GPU iteration breakdown under multi-device training.
+
+The paper's five configurations on 128-GPU-class systems with PCIe 4.0:
+
+* S1 — single GPU, B=16;
+* D1 — 128-way data parallel, B=16, gradients communicated after backprop
+  (no overlap): ~19% of runtime exposed as communication;
+* D2 — same with per-layer overlap: profile ≈ S1 (Obs. 5);
+* T1 — 2-way tensor slicing, B=16: ~9% communication, LAMB share halved;
+* T2 — 8-way tensor slicing, B=64: ~42% communication, LAMB negligible,
+  replicated DR+RC+LN share grows (Takeaways 12/13).
+"""
+
+from __future__ import annotations
+
+from repro.config import BERT_LARGE, BertConfig, Precision, training_point
+from repro.distributed.data_parallel import (data_parallel_timeline,
+                                             single_device_timeline)
+from repro.distributed.network import PCIE4, LinkSpec
+from repro.distributed.tensor_slicing import tensor_slicing_timeline
+from repro.distributed.timeline import BUCKET_ORDER, DeviceTimeline
+from repro.hw.device import DeviceModel
+from repro.report.bars import bar_chart
+from repro.experiments.common import default_device
+
+
+def run(model: BertConfig = BERT_LARGE,
+        device: DeviceModel | None = None,
+        link: LinkSpec = PCIE4,
+        dp_devices: int = 128) -> list[DeviceTimeline]:
+    """The five Fig. 11 configurations, in the paper's order."""
+    device = device or default_device()
+    b16 = training_point(1, 16, Precision.FP32)
+    b64 = training_point(1, 64, Precision.FP32)
+    return [
+        single_device_timeline(model, b16, device, label="S1 (1 GPU, B=16)"),
+        data_parallel_timeline(model, b16, device, link, dp_devices,
+                               overlap=False,
+                               label="D1 (DP, B=16, w/o overlap)"),
+        data_parallel_timeline(model, b16, device, link, dp_devices,
+                               overlap=True,
+                               label="D2 (DP, B=16, w/ overlap)"),
+        tensor_slicing_timeline(model, b16, device, link, 2,
+                                label="T1 (TS, 2-way, B=16)"),
+        tensor_slicing_timeline(model, b64, device, link, 8,
+                                label="T2 (TS, 8-way, B=64)"),
+    ]
+
+
+def render(timelines: list[DeviceTimeline]) -> str:
+    """ASCII stacked bars of per-GPU time shares."""
+    rows = []
+    for timeline in timelines:
+        total = timeline.total
+        fractions = [(bucket, timeline.buckets.get(bucket, 0.0) / total)
+                     for bucket in BUCKET_ORDER
+                     if timeline.buckets.get(bucket, 0.0) > 0]
+        rows.append((timeline.label, fractions))
+    return bar_chart(rows)

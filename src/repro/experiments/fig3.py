@@ -1,0 +1,62 @@
+"""Fig. 3: high-level runtime breakdown of BERT pre-training.
+
+Stacked bars over five operating points (Ph1-B32-FP32, Ph1-B4-FP32,
+Ph2-B4-FP32, Ph1-B32-FP16, Ph2-B4-FP16): Transformer layers vs. output
+layer vs. embedding vs. LAMB update.
+
+Paper bands: Transformer 68-85%; LAMB 7-10% at B32-FP32 rising to ~25% at
+B4 and 16-19% under mixed precision; output 3-7%; embedding negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BERT_LARGE, FIG3_POINTS, BertConfig, TrainingConfig
+from repro.experiments.common import run_point
+from repro.hw.device import DeviceModel
+from repro.report.bars import bar_chart
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One bar of Fig. 3.
+
+    Attributes:
+        label: operating-point label (``Phi-Bj-FPk``).
+        total_s: modeled iteration time.
+        transformer/output/embedding/optimizer: fractions of iteration time.
+    """
+
+    label: str
+    total_s: float
+    transformer: float
+    output: float
+    embedding: float
+    optimizer: float
+
+    def fractions(self) -> list[tuple[str, float]]:
+        return [("transformer", self.transformer), ("output", self.output),
+                ("embedding", self.embedding), ("lamb", self.optimizer)]
+
+
+def run(model: BertConfig = BERT_LARGE,
+        points: tuple[TrainingConfig, ...] = FIG3_POINTS,
+        device: DeviceModel | None = None) -> list[Fig3Row]:
+    """Compute the Fig. 3 rows."""
+    from repro.profiler.breakdown import summarize
+
+    rows = []
+    for training in points:
+        _, profile = run_point(model, training, device)
+        s = summarize(profile)
+        rows.append(Fig3Row(label=training.label, total_s=s["total_time_s"],
+                            transformer=s["transformer"], output=s["output"],
+                            embedding=s["embedding"],
+                            optimizer=s["optimizer"]))
+    return rows
+
+
+def render(rows: list[Fig3Row]) -> str:
+    """ASCII version of the Fig. 3 stacked bars."""
+    return bar_chart([(row.label, row.fractions()) for row in rows])

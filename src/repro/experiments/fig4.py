@@ -1,0 +1,110 @@
+"""Fig. 4: hierarchical breakdown of the Transformer layers.
+
+Four bar levels for Ph1-B32 in FP32 and mixed precision:
+
+1. overall (Fig. 3's bar),
+2. Transformer = attention + FC + DR/RC/LN,
+3. attention = linear GEMMs + batched GEMMs + scale/mask/dropout/softmax,
+4. FC = GEMMs(+grads) + GeLU.
+
+All fractions are of *overall* iteration time, matching the paper's labels.
+Paper bands (FP32 -> MP): linear+FC GEMM regions 57% -> 42%; attention ops
+(BGEMM + SMDSM) 7% -> 9%; GeLU 13% -> 15%; DR+RC+LN 5% -> 9%; total GEMM
+share 55% -> 36%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (BERT_LARGE, BertConfig, Precision, TrainingConfig,
+                          training_point)
+from repro.experiments.common import run_point
+from repro.hw.device import DeviceModel
+from repro.ops.base import Region
+from repro.profiler.breakdown import (gemm_fraction, region_breakdown,
+                                      summarize)
+from repro.report.tables import format_percent, format_table
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    """Hierarchical fractions for one precision.
+
+    All fields are fractions of overall iteration time.
+    """
+
+    label: str
+    attention_linear: float
+    attention_bgemm: float
+    attention_smdsm: float
+    fc_gemm: float
+    fc_gelu: float
+    dr_rc_ln: float
+    gemm_total: float
+    optimizer: float
+
+    @property
+    def linear_and_fc(self) -> float:
+        """The paper's "linear and FC layers" slice."""
+        return self.attention_linear + self.fc_gemm
+
+    @property
+    def attention_ops(self) -> float:
+        """The paper's "attention operations" slice (Takeaway 4)."""
+        return self.attention_bgemm + self.attention_smdsm
+
+    @property
+    def non_gemm(self) -> float:
+        return 1.0 - self.gemm_total
+
+
+def run_one(training: TrainingConfig, model: BertConfig = BERT_LARGE,
+            device: DeviceModel | None = None) -> Fig4Row:
+    """Hierarchical fractions at one operating point."""
+    _, profile = run_point(model, training, device)
+    regions = region_breakdown(profile)
+    summary = summarize(profile)
+    return Fig4Row(
+        label=training.label,
+        attention_linear=regions[Region.ATTENTION_LINEAR].fraction,
+        attention_bgemm=regions[Region.ATTENTION_BGEMM].fraction,
+        attention_smdsm=regions[Region.ATTENTION_SMDSM].fraction,
+        fc_gemm=regions[Region.FC_GEMM].fraction,
+        fc_gelu=regions[Region.FC_GELU].fraction,
+        dr_rc_ln=regions[Region.DR_RC_LN].fraction,
+        gemm_total=gemm_fraction(profile),
+        optimizer=summary["optimizer"],
+    )
+
+
+def run(model: BertConfig = BERT_LARGE, batch_size: int = 32,
+        device: DeviceModel | None = None) -> dict[str, Fig4Row]:
+    """FP32 and mixed-precision rows for Phase-1 at ``batch_size``."""
+    return {
+        "fp32": run_one(training_point(1, batch_size, Precision.FP32),
+                        model, device),
+        "mixed": run_one(training_point(1, batch_size, Precision.MIXED),
+                         model, device),
+    }
+
+
+def render(rows: dict[str, Fig4Row]) -> str:
+    """Side-by-side FP32 vs. MP table of every Fig. 4 slice."""
+    fp32, mixed = rows["fp32"], rows["mixed"]
+    slices = [
+        ("attention: linear GEMMs", "attention_linear"),
+        ("attention: batched GEMMs", "attention_bgemm"),
+        ("attention: scale+mask+DR+SM", "attention_smdsm"),
+        ("FC: GEMMs (+grads)", "fc_gemm"),
+        ("FC: GeLU", "fc_gelu"),
+        ("DR+RC+LN", "dr_rc_ln"),
+        ("all GEMMs", "gemm_total"),
+        ("LAMB update", "optimizer"),
+    ]
+    table_rows = [(name,
+                   format_percent(getattr(fp32, attr)),
+                   format_percent(getattr(mixed, attr)))
+                  for name, attr in slices]
+    return format_table(("slice of iteration", fp32.label, mixed.label),
+                        table_rows)

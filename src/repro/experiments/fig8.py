@@ -1,0 +1,74 @@
+"""Fig. 8: impact of input size (mini-batch B and sequence length n).
+
+Region breakdown across B in {4, 16, 32} at n=128 and across n=512 at
+matched token counts.  Paper shapes: LAMB share falls from ~25% (B=4) to
+~7% (B=32) because FWD/BWD work scales with tokens while the update does
+not; moving tokens from B to n (Ph1-B16 -> Ph2-B4) raises the attention
+operations' share from ~7% to ~17% (batched GEMMs ~3% -> ~8%) because
+attention scales quadratically with n (Takeaway 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (BERT_LARGE, BertConfig, Precision, TrainingConfig,
+                          training_point)
+from repro.experiments.fig4 import Fig4Row, run_one
+from repro.hw.device import DeviceModel
+from repro.report.tables import format_percent, format_table
+
+#: The paper's Fig. 8 operating points, in display order.
+DEFAULT_POINTS: tuple[TrainingConfig, ...] = (
+    training_point(1, 4, Precision.FP32),
+    training_point(1, 16, Precision.FP32),
+    training_point(1, 32, Precision.FP32),
+    training_point(2, 4, Precision.FP32),
+    training_point(2, 16, Precision.FP32),
+)
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One Fig. 8 bar: region fractions plus token bookkeeping."""
+
+    label: str
+    tokens: int
+    regions: Fig4Row
+
+    @property
+    def optimizer(self) -> float:
+        return self.regions.optimizer
+
+    @property
+    def attention_ops(self) -> float:
+        return self.regions.attention_ops
+
+    @property
+    def bgemm(self) -> float:
+        return self.regions.attention_bgemm
+
+
+def run(model: BertConfig = BERT_LARGE,
+        points: tuple[TrainingConfig, ...] = DEFAULT_POINTS,
+        device: DeviceModel | None = None) -> list[Fig8Row]:
+    """Region breakdowns across the input-size sweep."""
+    return [Fig8Row(label=training.label,
+                    tokens=training.tokens_per_iteration,
+                    regions=run_one(training, model, device))
+            for training in points]
+
+
+def render(rows: list[Fig8Row]) -> str:
+    """Sweep table: the load-bearing fractions per operating point."""
+    table = [(row.label, row.tokens,
+              format_percent(row.optimizer),
+              format_percent(row.regions.linear_and_fc),
+              format_percent(row.attention_ops),
+              format_percent(row.bgemm),
+              format_percent(row.regions.fc_gelu),
+              format_percent(row.regions.dr_rc_ln))
+             for row in rows]
+    return format_table(
+        ("point", "tokens", "LAMB", "linear+FC", "attn ops", "B-GEMM",
+         "GeLU", "DR+RC+LN"), table)

@@ -1,0 +1,97 @@
+"""Fig. 9: impact of Transformer layer size (C1 / C2 / C3 sweep).
+
+C1 halves BERT Large's hidden sizes, C2 is BERT Large, C3 doubles them
+(Megatron-LM-BERT-like).  Paper shapes: GEMM and LAMB proportions grow
+with layer width because both scale quadratically with ``d_model`` while
+the other layer operations scale linearly (Takeaway 11; LAMB reaches ~34%
+at C3 in the paper's per-token-matched setting); within the Transformer,
+FC grows relative to attention.
+
+Layer *count* (N) scaling is also provided: it leaves the in-layer
+breakdown unchanged while slightly growing the Transformer+LAMB share
+(Obs. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (C1, C2, C3, BertConfig, Precision, TrainingConfig,
+                          training_point)
+from repro.experiments.fig4 import Fig4Row, run_one
+from repro.hw.device import DeviceModel
+from repro.report.tables import format_percent, format_table
+
+#: Width sweep of the paper's Fig. 9.
+WIDTH_CONFIGS: tuple[BertConfig, ...] = (C1, C2, C3)
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    """One Fig. 9 bar."""
+
+    config_name: str
+    d_model: int
+    num_layers: int
+    parameters: int
+    regions: Fig4Row
+
+    @property
+    def optimizer(self) -> float:
+        return self.regions.optimizer
+
+    @property
+    def gemm_total(self) -> float:
+        return self.regions.gemm_total
+
+    @property
+    def fc_to_attention(self) -> float:
+        """FC time relative to attention time within the layer."""
+        attention = (self.regions.attention_linear
+                     + self.regions.attention_ops)
+        fc = self.regions.fc_gemm + self.regions.fc_gelu
+        return fc / attention if attention else 0.0
+
+
+def run(configs: tuple[BertConfig, ...] = WIDTH_CONFIGS,
+        training: TrainingConfig | None = None,
+        device: DeviceModel | None = None) -> list[Fig9Row]:
+    """Region breakdowns across the layer-width sweep.
+
+    The paper scales width at a fixed per-iteration input (its Fig. 9 uses
+    a small batch so the C3 model fits in device memory); the default here
+    is B=8, Phase-1, FP32, where both of Takeaway 11's monotone trends —
+    linear+FC GEMM share and LAMB share growing with width — are visible
+    and LAMB approaches the paper's ~34% at C3.
+    """
+    training = training or training_point(1, 8, Precision.FP32)
+    rows = []
+    for config in configs:
+        rows.append(Fig9Row(config_name=config.name, d_model=config.d_model,
+                            num_layers=config.num_layers,
+                            parameters=config.total_parameters(),
+                            regions=run_one(training, config, device)))
+    return rows
+
+
+def run_depth_sweep(base: BertConfig = C2, layer_counts=(12, 24, 48),
+                    training: TrainingConfig | None = None,
+                    device: DeviceModel | None = None) -> list[Fig9Row]:
+    """Layer-count (N) scaling at fixed width (Obs. 4)."""
+    configs = tuple(base.scaled(num_layers=n, name=f"{base.name}-N{n}")
+                    for n in layer_counts)
+    return run(configs, training, device)
+
+
+def render(rows: list[Fig9Row]) -> str:
+    """Width-sweep table of the load-bearing fractions."""
+    table = [(row.config_name, row.d_model, row.num_layers,
+              f"{row.parameters / 1e6:.0f}M",
+              format_percent(row.gemm_total),
+              format_percent(row.regions.linear_and_fc),
+              format_percent(row.optimizer),
+              f"{row.fc_to_attention:.2f}x")
+             for row in rows]
+    return format_table(
+        ("config", "d_model", "N", "params", "GEMMs", "linear+FC", "LAMB",
+         "FC/attention"), table)

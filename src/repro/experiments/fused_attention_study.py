@@ -1,0 +1,115 @@
+"""Extension study: kernel-fused attention vs. the eager pipeline.
+
+Takes the paper's fusion story (Sec. 6.1) to the attention block's
+logical endpoint: one fused kernel that never materializes the ``n x n``
+score matrix.  For each sequence length, compares the eager
+attention-operation kernels (batched GEMMs + scale/mask/softmax/dropout)
+against the fused pair in time, kernel count, DRAM traffic and stashed
+activation memory — the gains that grow quadratically with ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BERT_LARGE, BertConfig, Precision, TrainingConfig
+from repro.experiments.common import default_device
+from repro.hw.device import DeviceModel
+from repro.hw.timing import trace_time
+from repro.model.fused_attention import attention_memory_elements
+from repro.ops.base import DType, Kernel, Region
+from repro.ops.fused_attention import fused_attention_kernels
+from repro.report.tables import format_table
+from repro.trace.bert_trace import (attention_backward_kernels,
+                                    attention_forward_kernels)
+
+
+@dataclass(frozen=True)
+class FusedAttentionRow:
+    """Eager vs. fused attention block at one sequence length.
+
+    Attributes:
+        seq_len: sequence length ``n``.
+        eager_s / fused_s: per-layer attention-op time.
+        eager_kernels / fused_kernels: launch counts per layer.
+        eager_bytes / fused_bytes: per-layer DRAM traffic.
+        eager_stash / fused_stash: activation elements saved for backward.
+    """
+
+    seq_len: int
+    eager_s: float
+    fused_s: float
+    eager_kernels: int
+    fused_kernels: int
+    eager_bytes: int
+    fused_bytes: int
+    eager_stash: int
+    fused_stash: int
+
+    @property
+    def speedup(self) -> float:
+        return self.eager_s / self.fused_s
+
+    @property
+    def traffic_ratio(self) -> float:
+        return self.eager_bytes / self.fused_bytes
+
+    @property
+    def stash_ratio(self) -> float:
+        return self.eager_stash / self.fused_stash
+
+
+def _eager_attention_op_kernels(model: BertConfig,
+                                training: TrainingConfig) -> list[Kernel]:
+    """The eager kernels the fused kernel replaces: batched GEMMs plus the
+    scale/mask/softmax/dropout stream (projections excluded)."""
+    kernels = (attention_forward_kernels(model, training)
+               + attention_backward_kernels(model, training))
+    return [k for k in kernels
+            if k.region in (Region.ATTENTION_BGEMM, Region.ATTENTION_SMDSM)]
+
+
+def run(model: BertConfig = BERT_LARGE,
+        seq_lens: tuple[int, ...] = (128, 512, 2048),
+        tokens_budget: int = 4096,
+        device: DeviceModel | None = None) -> list[FusedAttentionRow]:
+    """Sweep sequence length at a fixed token budget."""
+    device = device or default_device()
+    rows = []
+    for seq_len in seq_lens:
+        batch = max(1, tokens_budget // seq_len)
+        training = TrainingConfig(batch_size=batch, seq_len=seq_len,
+                                  precision=Precision.FP32)
+        batch_heads = batch * model.num_heads
+
+        eager = _eager_attention_op_kernels(model, training)
+        fused = fused_attention_kernels(
+            seq_len=seq_len, d_head=model.d_head, batch_heads=batch_heads,
+            dtype=DType.FP32)
+        rows.append(FusedAttentionRow(
+            seq_len=seq_len,
+            eager_s=trace_time(eager, device),
+            fused_s=trace_time(fused, device),
+            eager_kernels=len(eager),
+            fused_kernels=len(fused),
+            eager_bytes=sum(k.bytes_total for k in eager),
+            fused_bytes=sum(k.bytes_total for k in fused),
+            eager_stash=attention_memory_elements(
+                seq_len, model.d_head, model.num_heads, batch, fused=False),
+            fused_stash=attention_memory_elements(
+                seq_len, model.d_head, model.num_heads, batch, fused=True),
+        ))
+    return rows
+
+
+def render(rows: list[FusedAttentionRow]) -> str:
+    table = [(row.seq_len,
+              f"{row.eager_s * 1e3:.2f} -> {row.fused_s * 1e3:.2f} ms",
+              f"{row.speedup:.1f}x",
+              f"{row.eager_kernels} -> {row.fused_kernels}",
+              f"{row.traffic_ratio:.1f}x",
+              f"{row.stash_ratio:.1f}x")
+             for row in rows]
+    return format_table(
+        ("n", "attn-op time/layer", "speedup", "kernels",
+         "traffic saved", "stash saved"), table)

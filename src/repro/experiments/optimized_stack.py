@@ -1,0 +1,93 @@
+"""Capstone study: the paper's Sec. 6 optimizations stacked.
+
+The paper's conclusion calls for "holistic solutions": fuse the
+memory-bound elementwise chains (Sec. 6.1.1), fuse attention's score
+pipeline (the Sec. 6.1 endpoint), and move the optimizer to near-memory
+compute (Sec. 6.2.1).  This study applies them cumulatively to one
+training iteration and reports the waterfall — where the remaining time
+goes after each step, and the compound speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (BERT_LARGE, BertConfig, Precision, TrainingConfig,
+                          training_point)
+from repro.experiments.common import default_device
+from repro.fusion.attention_fusion import apply_fused_attention
+from repro.fusion.passes import fuse_elementwise_chains
+from repro.hw.device import DeviceModel
+from repro.nmc.model import NmcConfig, hbm2_bank_nmc
+from repro.ops.base import Component
+from repro.profiler.profiler import profile_trace
+from repro.report.tables import format_table
+
+
+@dataclass(frozen=True)
+class WaterfallStep:
+    """One stage of the optimization waterfall.
+
+    Attributes:
+        name: which optimization was added.
+        iteration_s: iteration time with everything up to here applied.
+        kernels: kernel count at this stage.
+    """
+
+    name: str
+    iteration_s: float
+    kernels: int
+
+    def speedup_vs(self, baseline: "WaterfallStep") -> float:
+        return baseline.iteration_s / self.iteration_s
+
+
+def run(model: BertConfig = BERT_LARGE,
+        training: TrainingConfig | None = None,
+        device: DeviceModel | None = None,
+        nmc: NmcConfig | None = None) -> list[WaterfallStep]:
+    """Apply the Sec. 6 optimizations cumulatively."""
+    from repro.trace.bert_trace import build_iteration_trace
+
+    training = training or training_point(1, 32, Precision.FP32)
+    device = device or default_device()
+    nmc = nmc or hbm2_bank_nmc()
+
+    steps: list[WaterfallStep] = []
+    trace = build_iteration_trace(model, training)
+    profile = profile_trace(trace.kernels, device)
+    steps.append(WaterfallStep("baseline (eager)", profile.total_time,
+                               len(trace)))
+
+    trace = fuse_elementwise_chains(trace)
+    profile = profile_trace(trace.kernels, device)
+    steps.append(WaterfallStep("+ elementwise-chain fusion",
+                               profile.total_time, len(trace)))
+
+    trace = apply_fused_attention(trace)
+    profile = profile_trace(trace.kernels, device)
+    steps.append(WaterfallStep("+ fused attention", profile.total_time,
+                               len(trace)))
+
+    # NMC offload of the optimizer: replace its GPU time with NMC time.
+    optimizer_records = profile.records_where(
+        lambda k: k.component is Component.OPTIMIZER)
+    optimizer_time = sum(r.time_s for r in optimizer_records)
+    nmc_time = nmc.execution_time(
+        flops=sum(r.kernel.flops for r in optimizer_records),
+        bytes_moved=sum(r.kernel.bytes_total for r in optimizer_records),
+        command_groups=len(optimizer_records))
+    steps.append(WaterfallStep(
+        "+ LAMB on near-memory compute",
+        profile.total_time - optimizer_time + nmc_time,
+        len(trace)))
+    return steps
+
+
+def render(steps: list[WaterfallStep]) -> str:
+    baseline = steps[0]
+    rows = [(step.name, f"{step.iteration_s * 1e3:.1f} ms", step.kernels,
+             f"{step.speedup_vs(baseline):.2f}x")
+            for step in steps]
+    return format_table(("stage", "iteration", "kernels",
+                         "cumulative speedup"), rows)

@@ -1,0 +1,61 @@
+"""Extension study: pipeline parallelism vs. tensor slicing.
+
+The paper models DP and TS; production systems add pipelining as a third
+axis.  This study compares, at equal device counts, how tensor slicing and
+pipelining spend a per-device iteration — TS pays serialized activation
+AllReduces, the pipeline pays bubble time — and shows the micro-batch
+count trading bubble against boundary-transfer exposure.
+"""
+
+from __future__ import annotations
+
+from repro.config import (BERT_LARGE, BertConfig, Precision, TrainingConfig,
+                          training_point)
+from repro.distributed.network import PCIE4, LinkSpec
+from repro.distributed.pipeline import pipeline_timeline
+from repro.distributed.tensor_slicing import tensor_slicing_timeline
+from repro.distributed.timeline import DeviceTimeline
+from repro.experiments.common import default_device
+from repro.hw.device import DeviceModel
+from repro.report.tables import format_percent, format_table
+
+
+def run(model: BertConfig = BERT_LARGE,
+        training: TrainingConfig | None = None,
+        device: DeviceModel | None = None,
+        link: LinkSpec = PCIE4,
+        ways: tuple[int, ...] = (2, 4, 8)) -> list[tuple[DeviceTimeline,
+                                                         DeviceTimeline]]:
+    """(TS timeline, PP timeline) pairs at matched device counts.
+
+    The pipeline uses ``4 * stages`` micro-batches (a common heuristic
+    keeping the bubble under ~20%) when the batch allows it.
+    """
+    training = training or training_point(1, 32, Precision.FP32)
+    device = device or default_device()
+    pairs = []
+    for w in ways:
+        ts = tensor_slicing_timeline(model, training, device, link, w)
+        micro = 4 * w
+        while training.batch_size % micro:
+            micro //= 2
+        pp = pipeline_timeline(model, training, device, link, stages=w,
+                               micro_batches=max(1, micro))
+        pairs.append((ts, pp))
+    return pairs
+
+
+def render(pairs) -> str:
+    rows = []
+    for ts, pp in pairs:
+        rows.append((
+            f"{ts.devices}",
+            f"{ts.total * 1e3:.0f} ms",
+            format_percent(ts.communication_fraction),
+            f"{pp.total * 1e3:.0f} ms",
+            format_percent(pp.fraction("pipeline_bubble")),
+            format_percent(pp.communication_fraction),
+        ))
+    return format_table(
+        ("devices", "TS iter", "TS comm", "PP iter", "PP bubble",
+         "PP comm"), rows)

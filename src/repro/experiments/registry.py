@@ -1,0 +1,103 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Maps experiment ids to ``(run, render)`` pairs so examples, benchmarks and
+the command line can regenerate any result uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (energy_study, fig3, fig4, fig6, fig7, fig8,
+                               fig9, fig11, fig12, fused_attention_study,
+                               nmc_study, optimized_stack, packing_study,
+                               pipeline_study, robustness, scaling_trends,
+                               sec4, sec7_modes, takeaways, transfer_study,
+                               windowed_study, zero_study)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment.
+
+    Attributes:
+        experiment_id: paper reference (``"fig3"``, ``"sec4"``, ...).
+        description: what the paper shows there.
+        run: produces the structured result.
+        render: formats a result as text.
+    """
+
+    experiment_id: str
+    description: str
+    run: Callable[[], object]
+    render: Callable[[object], str]
+
+
+REGISTRY: dict[str, Experiment] = {
+    exp.experiment_id: exp for exp in (
+        Experiment("fig3", "High-level runtime breakdown of pre-training",
+                   fig3.run, fig3.render),
+        Experiment("fig4", "Hierarchical Transformer-layer breakdown",
+                   fig4.run, fig4.render),
+        Experiment("fig6", "Arithmetic intensity of training GEMMs",
+                   fig6.run, fig6.render),
+        Experiment("fig7", "Op-group intensity and bandwidth demand",
+                   fig7.run, fig7.render),
+        Experiment("fig8", "Input-size (B, n) sweep",
+                   fig8.run, fig8.render),
+        Experiment("fig9", "Layer-size (d_model) sweep",
+                   fig9.run, fig9.render),
+        Experiment("sec4", "Activation checkpointing overhead",
+                   sec4.run, sec4.render),
+        Experiment("fig11", "Multi-device per-GPU breakdown",
+                   fig11.run, fig11.render),
+        Experiment("fig12", "Kernel and GEMM fusion impact",
+                   fig12.run, fig12.render),
+        Experiment("nmc", "Near-memory compute for LAMB",
+                   nmc_study.run, nmc_study.render),
+        Experiment("table1", "Takeaway verification",
+                   takeaways.run, takeaways.render),
+        Experiment("sec7", "Inference and fine-tuning profiles",
+                   sec7_modes.run, sec7_modes.render),
+        Experiment("zero", "ZeRO optimizer-state partitioning (extension)",
+                   zero_study.run, zero_study.render),
+        Experiment("windowed", "Windowed attention vs sequence length "
+                   "(extension)", windowed_study.run,
+                   windowed_study.render),
+        Experiment("energy", "Iteration energy accounting (extension)",
+                   energy_study.run, energy_study.render),
+        Experiment("pipeline", "Pipeline vs tensor parallelism "
+                   "(extension)", pipeline_study.run,
+                   pipeline_study.render),
+        Experiment("fused-attention", "Kernel-fused attention vs eager "
+                   "(extension)", fused_attention_study.run,
+                   fused_attention_study.render),
+        Experiment("transfer", "Cross-device transferability (Sec. 7)",
+                   transfer_study.run, transfer_study.render),
+        Experiment("optimized", "Sec. 6 optimizations stacked (capstone)",
+                   optimized_stack.run, optimized_stack.render),
+        Experiment("robustness", "Conclusions under device-model "
+                   "perturbation", robustness.run, robustness.render),
+        Experiment("scaling", "Future-Transformer scaling trends "
+                   "(extension)", scaling_trends.run,
+                   scaling_trends.render),
+        Experiment("packing", "Phase-2 sequence-packing savings "
+                   "(extension)", packing_study.run,
+                   packing_study.render),
+    )
+}
+
+
+def run_experiment(experiment_id: str) -> str:
+    """Run one experiment and return its rendered report."""
+    if experiment_id not in REGISTRY:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {sorted(REGISTRY)}")
+    experiment = REGISTRY[experiment_id]
+    return experiment.render(experiment.run())
+
+
+def run_all() -> dict[str, str]:
+    """Run every registered experiment; returns id -> rendered report."""
+    return {eid: run_experiment(eid) for eid in REGISTRY}

@@ -1,0 +1,96 @@
+"""Extension study: future-Transformer scaling trends (the intro's models).
+
+The paper motivates itself with the model-scale explosion — BERT's 340M
+parameters to Megatron-LM's 3.9B and beyond — and argues its sweep
+methodology "captures future Transformer trends" (Secs. 1, 3.3).  This
+study runs that projection: BERT-structured models from Base scale to
+multi-billion-parameter widths, tracking the quantities the takeaways say
+should move (LAMB share, linear+FC GEMM share, memory-bound share) plus
+the per-device memory wall that forces model parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (BERT_BASE, BERT_LARGE, BertConfig, Precision,
+                          TrainingConfig, training_point)
+from repro.experiments.common import default_device
+from repro.experiments.fig4 import run_one
+from repro.hw.device import DeviceModel
+from repro.memoryplan.footprint import training_footprint
+from repro.report.tables import format_percent, format_table
+
+#: BERT-structured scale ladder up to Megatron-class widths.  Names cite
+#: the intro's lineage; hyperparameters follow the published models'
+#: (encoder-equivalent) shapes.
+SCALE_LADDER: tuple[BertConfig, ...] = (
+    BERT_BASE,
+    BERT_LARGE,
+    BertConfig(num_layers=24, d_model=2048, num_heads=32, d_ff=8192,
+               name="megatron-1.2b"),
+    BertConfig(num_layers=40, d_model=2560, num_heads=40, d_ff=10240,
+               name="megatron-3.9b"),
+    BertConfig(num_layers=32, d_model=4096, num_heads=32, d_ff=16384,
+               name="gpt3-6.7b-like"),
+)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One model scale.
+
+    Attributes:
+        name: model label.
+        parameters: trainable parameter count.
+        lamb / linear_fc / non_gemm: runtime fractions at the reference
+            operating point.
+        footprint_gb: single-device training footprint at that point.
+        fits_32gb: whether single-device training is even possible.
+    """
+
+    name: str
+    parameters: int
+    lamb: float
+    linear_fc: float
+    non_gemm: float
+    footprint_gb: float
+    fits_32gb: bool
+
+
+def run(configs: tuple[BertConfig, ...] = SCALE_LADDER,
+        training: TrainingConfig | None = None,
+        device: DeviceModel | None = None) -> list[ScalingRow]:
+    """Profile the scale ladder at a fixed small-batch operating point.
+
+    A small batch keeps the biggest models addressable by the footprint
+    model and matches Fig. 9's regime where the LAMB trend is strongest.
+    """
+    training = training or training_point(1, 8, Precision.FP32)
+    device = device or default_device()
+    rows = []
+    for config in configs:
+        regions = run_one(training, config, device)
+        footprint = training_footprint(config, training)
+        rows.append(ScalingRow(
+            name=config.name,
+            parameters=config.total_parameters(),
+            lamb=regions.optimizer,
+            linear_fc=regions.linear_and_fc,
+            non_gemm=regions.non_gemm,
+            footprint_gb=footprint.total / 1e9,
+            fits_32gb=footprint.fits(32.0),
+        ))
+    return rows
+
+
+def render(rows: list[ScalingRow]) -> str:
+    table = [(row.name, f"{row.parameters / 1e6:,.0f}M",
+              format_percent(row.lamb), format_percent(row.linear_fc),
+              format_percent(row.non_gemm),
+              f"{row.footprint_gb:.0f} GB",
+              "yes" if row.fits_32gb else "NO -> model parallel")
+             for row in rows]
+    return format_table(("model", "params", "LAMB", "linear+FC",
+                         "non-GEMM", "footprint @B8", "fits 32 GB?"),
+                        table)

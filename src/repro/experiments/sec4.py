@@ -1,0 +1,113 @@
+"""Sec. 4: effects of activation checkpointing.
+
+BERT Large with sqrt(N)=4 checkpoints (recompute after every six layers).
+Paper bands: ~33% more kernels, ~27% more runtime, in-layer breakdown
+unchanged, LAMB share drops (its absolute time is unaffected).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.config import (BERT_LARGE, BertConfig, Precision, TrainingConfig,
+                          training_point)
+from repro.experiments.common import default_device, run_point
+from repro.hw.device import DeviceModel
+from repro.memoryplan.footprint import training_footprint
+from repro.profiler.breakdown import optimizer_fraction, region_breakdown
+from repro.report.tables import format_percent, format_table
+
+
+@dataclass(frozen=True)
+class CheckpointingResult:
+    """Baseline vs. checkpointed comparison.
+
+    Attributes:
+        kernels_base/kernels_ckpt: kernel counts.
+        time_base_s/time_ckpt_s: iteration times.
+        lamb_base/lamb_ckpt: LAMB fractions.
+        activation_bytes_base/ckpt: saved-activation footprints.
+        region_shift: largest absolute change in any in-layer region's
+            share of transformer time (should be small).
+    """
+
+    kernels_base: int
+    kernels_ckpt: int
+    time_base_s: float
+    time_ckpt_s: float
+    lamb_base: float
+    lamb_ckpt: float
+    activation_bytes_base: int
+    activation_bytes_ckpt: int
+    region_shift: float
+
+    @property
+    def kernel_overhead(self) -> float:
+        return self.kernels_ckpt / self.kernels_base - 1.0
+
+    @property
+    def runtime_overhead(self) -> float:
+        return self.time_ckpt_s / self.time_base_s - 1.0
+
+    @property
+    def activation_savings(self) -> float:
+        return 1.0 - self.activation_bytes_ckpt / self.activation_bytes_base
+
+
+def _transformer_region_shares(profile) -> dict[str, float]:
+    """In-layer region shares of *transformer* time (not iteration time)."""
+    regions = region_breakdown(profile)
+    transformer_total = sum(e.time_s for e in regions.values())
+    return {name.value: e.time_s / transformer_total
+            for name, e in regions.items()}
+
+
+def run(model: BertConfig = BERT_LARGE,
+        training: TrainingConfig | None = None,
+        device: DeviceModel | None = None) -> CheckpointingResult:
+    """Compare baseline and checkpointed training."""
+    training = training or training_point(1, 32, Precision.FP32)
+    if training.activation_checkpointing:
+        raise ValueError("pass the baseline (non-checkpointed) config")
+    device = device or default_device()
+    checkpointed = dataclasses.replace(training,
+                                       activation_checkpointing=True)
+
+    trace_base, profile_base = run_point(model, training, device)
+    trace_ckpt, profile_ckpt = run_point(model, checkpointed, device)
+
+    shares_base = _transformer_region_shares(profile_base)
+    shares_ckpt = _transformer_region_shares(profile_ckpt)
+    region_shift = max(abs(shares_base[k] - shares_ckpt[k])
+                       for k in shares_base)
+
+    return CheckpointingResult(
+        kernels_base=len(trace_base), kernels_ckpt=len(trace_ckpt),
+        time_base_s=profile_base.total_time,
+        time_ckpt_s=profile_ckpt.total_time,
+        lamb_base=optimizer_fraction(profile_base),
+        lamb_ckpt=optimizer_fraction(profile_ckpt),
+        activation_bytes_base=training_footprint(model, training).activations,
+        activation_bytes_ckpt=training_footprint(model,
+                                                 checkpointed).activations,
+        region_shift=region_shift,
+    )
+
+
+def render(result: CheckpointingResult) -> str:
+    rows = [
+        ("kernel count", result.kernels_base, result.kernels_ckpt,
+         format_percent(result.kernel_overhead)),
+        ("iteration time (ms)", f"{result.time_base_s * 1e3:.1f}",
+         f"{result.time_ckpt_s * 1e3:.1f}",
+         format_percent(result.runtime_overhead)),
+        ("LAMB share", format_percent(result.lamb_base),
+         format_percent(result.lamb_ckpt), "-"),
+        ("activations (GB)",
+         f"{result.activation_bytes_base / 1e9:.2f}",
+         f"{result.activation_bytes_ckpt / 1e9:.2f}",
+         f"-{format_percent(result.activation_savings)}"),
+    ]
+    return format_table(("metric", "baseline", "checkpointed", "delta"),
+                        rows)

@@ -1,0 +1,118 @@
+"""Generic sweep utilities and CSV export of experiment results.
+
+Every experiment module returns dataclass rows; these helpers flatten them
+into CSV so results can be plotted or diffed outside the repository, and
+provide a generic grid sweep over (model, training) parameters for ad-hoc
+studies.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import itertools
+from typing import Callable, Iterable
+
+from repro.config import BertConfig, TrainingConfig
+from repro.experiments.common import run_point
+from repro.hw.device import DeviceModel
+from repro.profiler.breakdown import summarize
+
+
+def _flatten(value, prefix: str = "") -> dict[str, object]:
+    """Flatten dataclasses/dicts/enums into scalar CSV cells."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {}
+        for field in dataclasses.fields(value):
+            out.update(_flatten(getattr(value, field.name),
+                                f"{prefix}{field.name}."))
+        return out
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            out.update(_flatten(item, f"{prefix}{key}."))
+        return out
+    if hasattr(value, "value") and hasattr(type(value), "__members__"):
+        return {prefix.rstrip("."): value.value}  # Enum
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return {prefix.rstrip("."): value}
+    return {prefix.rstrip("."): str(value)}
+
+
+def rows_to_csv(rows: Iterable[object]) -> str:
+    """Render experiment dataclass rows as CSV.
+
+    Columns are the union of flattened fields, in first-seen order.
+    """
+    flat_rows = [_flatten(row) for row in rows]
+    if not flat_rows:
+        raise ValueError("no rows to export")
+    columns: list[str] = []
+    for flat in flat_rows:
+        for key in flat:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for flat in flat_rows:
+        writer.writerow(flat)
+    return buffer.getvalue()
+
+
+def export_experiment_csv(experiment_id: str, path: str) -> None:
+    """Run a registered experiment and write its rows as CSV.
+
+    Only experiments whose ``run`` returns a list of dataclasses are
+    exportable; others raise ``TypeError``.
+    """
+    from repro.experiments.registry import REGISTRY
+
+    result = REGISTRY[experiment_id].run()
+    if not isinstance(result, list):
+        raise TypeError(f"experiment {experiment_id!r} does not return "
+                        "a row list")
+    with open(path, "w", newline="") as handle:
+        handle.write(rows_to_csv(result))
+
+
+def grid_sweep(model: BertConfig,
+               trainings: Iterable[TrainingConfig],
+               device: DeviceModel | None = None,
+               metrics: Callable[[dict], dict] | None = None
+               ) -> list[dict[str, object]]:
+    """Profile every training point; return one summary dict per point.
+
+    Args:
+        model: architecture to sweep.
+        trainings: training points.
+        device: device model (default MI100-like).
+        metrics: optional post-processor mapping the summary dict to the
+            columns you want.
+    """
+    rows = []
+    for training in trainings:
+        _, profile = run_point(model, training, device)
+        stats = summarize(profile)
+        row: dict[str, object] = {
+            "label": training.label,
+            "batch_size": training.batch_size,
+            "seq_len": training.seq_len,
+            "tokens": training.tokens_per_iteration,
+            **stats,
+        }
+        rows.append(metrics(row) if metrics else row)
+    return rows
+
+
+def cross_product(batch_sizes: Iterable[int], seq_lens: Iterable[int],
+                  precisions, **overrides) -> list[TrainingConfig]:
+    """Build the cross product of training points for :func:`grid_sweep`."""
+    points = []
+    for batch, seq_len, precision in itertools.product(batch_sizes,
+                                                       seq_lens,
+                                                       precisions):
+        points.append(TrainingConfig(batch_size=batch, seq_len=seq_len,
+                                     precision=precision, **overrides))
+    return points

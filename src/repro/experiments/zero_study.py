@@ -1,0 +1,53 @@
+"""Extension study: ZeRO-style optimizer partitioning under data
+parallelism (the paper's Sec. 5.2 aside on [69]).
+
+Quantifies the trade the paper gestures at: sharding optimizer state
+across replicas shrinks the LAMB bucket ~D-fold and frees gigabytes of
+per-device state, but the post-update parameter all-gather cannot overlap
+backprop and LAMB's global grad-norm still serializes the update.
+"""
+
+from __future__ import annotations
+
+from repro.config import (BERT_LARGE, BertConfig, Precision, TrainingConfig,
+                          training_point)
+from repro.distributed.data_parallel import data_parallel_timeline
+from repro.distributed.network import PCIE4, LinkSpec
+from repro.distributed.timeline import DeviceTimeline
+from repro.distributed.zero import zero_dp_timeline, zero_memory_per_device
+from repro.experiments.common import default_device
+from repro.hw.device import DeviceModel
+from repro.report.tables import format_table
+
+
+def run(model: BertConfig = BERT_LARGE,
+        training: TrainingConfig | None = None,
+        device: DeviceModel | None = None,
+        link: LinkSpec = PCIE4,
+        device_counts: tuple[int, ...] = (8, 32, 128)
+        ) -> list[tuple[DeviceTimeline, DeviceTimeline, int]]:
+    """(plain-DP timeline, ZeRO-DP timeline, ZeRO state bytes) per scale."""
+    training = training or training_point(1, 16, Precision.FP32)
+    device = device or default_device()
+    rows = []
+    for devices in device_counts:
+        plain = data_parallel_timeline(model, training, device, link,
+                                       devices, overlap=True)
+        zero = zero_dp_timeline(model, training, device, link, devices)
+        rows.append((plain, zero, zero_memory_per_device(model, devices)))
+    return rows
+
+
+def render(rows) -> str:
+    table = []
+    for plain, zero, state_bytes in rows:
+        table.append((
+            f"x{plain.devices}",
+            f"{plain.total * 1e3:.0f} ms / {plain.optimizer_fraction:.1%}",
+            f"{zero.total * 1e3:.0f} ms / {zero.optimizer_fraction:.1%}",
+            f"{zero.communication_fraction:.1%}",
+            f"{state_bytes / 1e9:.3f} GB",
+        ))
+    return format_table(
+        ("replicas", "DP: iter / LAMB", "ZeRO: iter / LAMB",
+         "ZeRO comm", "opt state per device"), table)

@@ -1,0 +1,54 @@
+"""Trace transform: replace eager attention ops with fused kernels.
+
+Swaps each encoder layer's attention-operation kernels — the batched
+GEMMs plus the scale/mask/softmax/dropout stream — for the two fused
+kernels of :mod:`repro.ops.fused_attention`, preserving launch order and
+layer attribution.  Linear projections and everything else are untouched.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import Kernel, Phase, Region
+from repro.ops.fused_attention import (fused_attention_backward_kernel,
+                                       fused_attention_forward_kernel)
+from repro.trace.builder import Trace
+
+
+def _is_attention_op(kernel: Kernel) -> bool:
+    return (kernel.layer_index is not None
+            and kernel.region in (Region.ATTENTION_BGEMM,
+                                  Region.ATTENTION_SMDSM))
+
+
+def apply_fused_attention(trace: Trace) -> Trace:
+    """Rewrite a trace with kernel-fused attention per layer/direction.
+
+    The first eager attention-op kernel of each (layer, phase) block is
+    replaced by the fused kernel; the rest of the block is dropped.
+    """
+    from repro.trace.bert_trace import _activation_dtype
+
+    model = trace.model
+    training = trace.training
+    dtype = _activation_dtype(training)
+    batch_heads = training.batch_size * model.num_heads
+
+    def fused_for(layer: int, phase: Phase) -> Kernel:
+        builder = (fused_attention_forward_kernel
+                   if phase is Phase.FORWARD
+                   else fused_attention_backward_kernel)
+        return builder(seq_len=training.seq_len, d_head=model.d_head,
+                       batch_heads=batch_heads, dtype=dtype,
+                       layer_index=layer)
+
+    rewritten: list[Kernel] = []
+    emitted: set[tuple[int, Phase]] = set()
+    for kernel in trace.kernels:
+        if not _is_attention_op(kernel):
+            rewritten.append(kernel)
+            continue
+        key = (kernel.layer_index, kernel.phase)
+        if key not in emitted:
+            emitted.add(key)
+            rewritten.append(fused_for(*key))
+    return trace.replaced(rewritten)

@@ -1,0 +1,82 @@
+"""Horizontal fusion of the attention linear GEMMs (Sec. 6.1.2, Figs. 12b/13).
+
+The Q, K and V projections multiply the *same* input activation matrix by
+three different weight matrices.  Concatenating the weights turns three
+``d x tokens x d`` GEMMs into one ``3d x tokens x d`` GEMM: the input is
+read once instead of three times, and the 3x larger output dimension fills
+the accelerator better — which is exactly why the gain is largest when the
+token count (or hidden size) is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceModel
+from repro.hw.gemm_model import gemm_time
+from repro.ops.base import DType
+from repro.ops.gemm import GemmShape, linear_layer_gemms
+
+
+@dataclass(frozen=True)
+class GemmFusionResult:
+    """3S (serial) vs. 3F (fused) comparison at one operating point.
+
+    Attributes:
+        tokens: token count ``B * n``.
+        d_model: hidden size.
+        pass_name: ``"fwd"`` or ``"bwd_wt"`` (the two GEMM kinds Fig. 12b
+            examines).
+        serial_s: time of the three separate GEMMs.
+        fused_s: time of the single concatenated GEMM.
+    """
+
+    tokens: int
+    d_model: int
+    pass_name: str
+    serial_s: float
+    fused_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_s / self.fused_s
+
+    @property
+    def improvement(self) -> float:
+        """Fractional performance improvement of fusion (e.g. 0.62 = 62%)."""
+        return self.speedup - 1.0
+
+
+def fused_qkv_shapes(d_model: int, tokens: int) -> dict[str, GemmShape]:
+    """Table 2b linear shapes with the three weight matrices concatenated."""
+    return linear_layer_gemms(d_model, 3 * d_model, tokens)
+
+
+def qkv_fusion_comparison(d_model: int, tokens: int, device: DeviceModel,
+                          dtype: DType = DType.FP32,
+                          pass_name: str = "fwd") -> GemmFusionResult:
+    """Compare 3 serial linear GEMMs against the fused QKV GEMM.
+
+    Args:
+        d_model: hidden size (each weight is ``d_model x d_model``).
+        tokens: token count forming the shared GEMM dimension.
+        device: device model to price both variants on.
+        dtype: GEMM precision.
+        pass_name: which of the three training GEMMs to compare
+            (``"fwd"``, ``"bwd_act"`` or ``"bwd_wt"``).
+    """
+    separate = linear_layer_gemms(d_model, d_model, tokens)[pass_name]
+    fused = fused_qkv_shapes(d_model, tokens)[pass_name]
+    serial_s = 3.0 * gemm_time(separate, dtype, device).total_s
+    fused_s = gemm_time(fused, dtype, device).total_s
+    return GemmFusionResult(tokens=tokens, d_model=d_model,
+                            pass_name=pass_name, serial_s=serial_s,
+                            fused_s=fused_s)
+
+
+def fusion_sweep(d_model: int, token_counts: list[int], device: DeviceModel,
+                 dtype: DType = DType.FP32,
+                 pass_name: str = "fwd") -> list[GemmFusionResult]:
+    """Fig. 12b sweep: fusion benefit across input sizes."""
+    return [qkv_fusion_comparison(d_model, tokens, device, dtype, pass_name)
+            for tokens in token_counts]

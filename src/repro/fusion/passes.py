@@ -1,0 +1,138 @@
+"""Kernel-fusion passes over iteration traces (Sec. 6.1.1, Fig. 12a).
+
+Eager execution launches one kernel per elementwise step and materializes
+every intermediate to device memory.  Fusing a producer-consumer chain into
+one kernel removes (a) the launch overhead of all but one kernel and (b)
+the write+read of every intermediate tensor.  Both effects are computed
+exactly here from the kernels' byte accounting; nothing about *time* is
+assumed — the device model prices the fused trace like any other.
+
+The pass fuses within ``fusion_group`` labels, which the trace generator
+assigns to chains with actual data flow (GeLU steps, the DR+RC+LN tail,
+scale+mask+softmax+dropout).  Kernels in *different* groups — e.g. LAMB
+stages of different layers, which touch disjoint data — are never merged,
+reflecting the paper's observation that fusing them would not reduce
+memory traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.ops.base import Kernel, OpClass
+from repro.trace.builder import Trace
+
+
+def _chain_key(kernel: Kernel) -> tuple | None:
+    """Grouping key for fusable kernels, or None if unfusable."""
+    if kernel.fusion_group is None:
+        return None
+    if kernel.op_class.is_gemm:
+        return None
+    return (kernel.fusion_group, kernel.phase, kernel.layer_index)
+
+
+def fuse_chain(kernels: list[Kernel]) -> Kernel:
+    """Fuse a producer-consumer elementwise/reduction chain into one kernel.
+
+    Each intermediate hand-off (the principal tensor between consecutive
+    kernels) stops being written by the producer and read by the consumer;
+    all side inputs (masks, residuals) and side outputs (saved masks,
+    statistics) keep their traffic.  FLOPs are unchanged — fusion saves
+    memory traffic and launches, not arithmetic.
+    """
+    if not kernels:
+        raise ValueError("cannot fuse an empty chain")
+    if len(kernels) == 1:
+        return kernels[0]
+    first = kernels[0]
+    flops = sum(k.flops for k in kernels)
+    bytes_read = sum(k.bytes_read for k in kernels)
+    bytes_written = sum(k.bytes_written for k in kernels)
+    for producer, consumer in zip(kernels, kernels[1:]):
+        handoff = producer.n_elements * producer.dtype.bytes
+        bytes_written -= min(handoff, producer.bytes_written)
+        bytes_read -= min(handoff, consumer.bytes_read)
+    has_reduction = any(k.op_class is OpClass.REDUCTION for k in kernels)
+    return dataclasses.replace(
+        first,
+        name=f"fused.{first.fusion_group}.{first.phase.value}",
+        op_class=OpClass.REDUCTION if has_reduction else OpClass.ELEMENTWISE,
+        flops=flops,
+        bytes_read=max(0, bytes_read),
+        bytes_written=max(0, bytes_written),
+        n_elements=max(k.n_elements for k in kernels),
+    )
+
+
+def fuse_elementwise_chains(trace: Trace) -> Trace:
+    """Fuse every consecutive same-group elementwise chain in a trace."""
+    fused: list[Kernel] = []
+    pending: list[Kernel] = []
+    pending_key: tuple | None = None
+
+    def flush() -> None:
+        nonlocal pending, pending_key
+        if pending:
+            fused.append(fuse_chain(pending))
+            pending = []
+            pending_key = None
+
+    for kernel in trace.kernels:
+        key = _chain_key(kernel)
+        if key is None:
+            flush()
+            fused.append(kernel)
+        elif key == pending_key:
+            pending.append(kernel)
+        else:
+            flush()
+            pending = [kernel]
+            pending_key = key
+    flush()
+    return trace.replaced(fused)
+
+
+@dataclass(frozen=True)
+class FusionImpact:
+    """Fig. 12a metrics: what fusion changed.
+
+    Attributes:
+        kernels_before/after: launch counts.
+        bytes_before/after: total memory traffic.
+        time_before/after: modeled execution time (seconds).
+    """
+
+    kernels_before: int
+    kernels_after: int
+    bytes_before: int
+    bytes_after: int
+    time_before: float
+    time_after: float
+
+    @property
+    def kernel_ratio(self) -> float:
+        return self.kernels_before / self.kernels_after
+
+    @property
+    def bytes_ratio(self) -> float:
+        return self.bytes_before / self.bytes_after
+
+    @property
+    def time_ratio(self) -> float:
+        return self.time_before / self.time_after
+
+
+def fusion_impact(before: list[Kernel], after: list[Kernel],
+                  device) -> FusionImpact:
+    """Compare an unfused and a fused kernel set on a device."""
+    from repro.hw.timing import trace_time
+
+    return FusionImpact(
+        kernels_before=len(before), kernels_after=len(after),
+        bytes_before=sum(k.bytes_total for k in before),
+        bytes_after=sum(k.bytes_total for k in after),
+        time_before=trace_time(before, device),
+        time_after=trace_time(after, device),
+    )

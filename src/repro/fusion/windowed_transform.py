@@ -1,0 +1,57 @@
+"""Trace transform: swap dense attention ops for block-local attention.
+
+The counterpart of :mod:`repro.fusion.attention_fusion` for the windowed
+(linear-complexity) attention variant: each encoder layer's dense
+attention-operation kernels are replaced by the block-local kernel stream
+of :mod:`repro.ops.windowed_attention`, so the full profiling/energy/export
+pipeline can study windowed models end to end.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import Kernel, Phase, Region
+from repro.ops.windowed_attention import (WindowConfig,
+                                          windowed_attention_op_kernels)
+from repro.trace.builder import Trace
+
+
+def _is_attention_op(kernel: Kernel) -> bool:
+    return (kernel.layer_index is not None
+            and kernel.region in (Region.ATTENTION_BGEMM,
+                                  Region.ATTENTION_SMDSM))
+
+
+def apply_windowed_attention(trace: Trace,
+                             window: WindowConfig | None = None) -> Trace:
+    """Rewrite a trace with block-local attention per encoder layer.
+
+    The windowed kernel block (forward and backward interleaved as
+    emitted) replaces the first dense attention-op kernel of each
+    (layer, phase); remaining dense attention-op kernels are dropped.
+    """
+    from repro.trace.bert_trace import _activation_dtype
+
+    window = window or WindowConfig()
+    model = trace.model
+    training = trace.training
+    dtype = _activation_dtype(training)
+    batch_heads = training.batch_size * model.num_heads
+
+    def kernels_for(layer: int, phase: Phase) -> list[Kernel]:
+        block = windowed_attention_op_kernels(
+            seq_len=training.seq_len, d_head=model.d_head,
+            batch_heads=batch_heads, window=window, dtype=dtype,
+            layer_index=layer)
+        return [k for k in block if k.phase is phase]
+
+    rewritten: list[Kernel] = []
+    emitted: set[tuple[int, Phase]] = set()
+    for kernel in trace.kernels:
+        if not _is_attention_op(kernel):
+            rewritten.append(kernel)
+            continue
+        key = (kernel.layer_index, kernel.phase)
+        if key not in emitted:
+            emitted.add(key)
+            rewritten.extend(kernels_for(*key))
+    return trace.replaced(rewritten)

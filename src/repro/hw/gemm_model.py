@@ -1,0 +1,122 @@
+"""Tile/wave GEMM timing model.
+
+A BLAS GEMM is decomposed into macro-tiles of the output matrix, each
+assigned to one compute unit.  Three effects put real GEMMs below the
+engine's achievable peak, and all three matter for the paper's story that
+"not all GEMMs in BERT are equal" (Takeaway 6):
+
+* **tile quantization** — M or N not a multiple of the tile wastes lanes;
+* **wave quantization** — the last wave of tiles underfills the CUs (this is
+  what makes the ``d_model x tokens x d_model`` linear GEMMs slower per FLOP
+  than the 4x larger FC GEMMs);
+* **K-loop amortization** — short contractions (the ``d_model/h = 64`` of
+  attention batched GEMMs) never reach pipeline steady state.
+
+The final kernel time is the roofline maximum of this compute time and the
+memory streaming time, plus launch overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceModel
+from repro.ops.base import DType
+from repro.ops.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class GemmTimeBreakdown:
+    """Where a GEMM's time comes from, for reporting and tests.
+
+    Attributes:
+        compute_s: FLOP-limited time at the shape's efficiency.
+        memory_s: traffic-limited time.
+        overhead_s: launch overhead.
+        efficiency: fraction of the engine's achievable peak realized.
+    """
+
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    efficiency: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.compute_s, self.memory_s) + self.overhead_s
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_s > self.compute_s
+
+
+#: Candidate macro-tile configurations the BLAS autotuner chooses from:
+#: (tile_m, tile_n, intrinsic efficiency ceiling).  Smaller tiles expose
+#: more parallelism for small/skinny GEMMs but run at a lower per-tile
+#: ceiling (less register blocking, worse MFMA utilization).
+TILE_CANDIDATES: tuple[tuple[int, int, float], ...] = (
+    (128, 128, 1.00),
+    (64, 64, 0.70),
+    (32, 32, 0.42),
+)
+
+
+def _tile_efficiency(shape: GemmShape, device: DeviceModel,
+                     tile_m: int, tile_n: int, ceiling: float) -> float:
+    """Efficiency of one candidate tiling."""
+    tiles_m = math.ceil(shape.m / tile_m)
+    tiles_n = math.ceil(shape.n / tile_n)
+    tiles = tiles_m * tiles_n * shape.batch
+
+    # Lanes wasted inside partial tiles.
+    tile_util = (shape.m * shape.n) / (tiles_m * tile_m * tiles_n * tile_n)
+
+    # CUs idle during the final wave.
+    waves = math.ceil(tiles / device.compute_units)
+    wave_util = tiles / (waves * device.compute_units)
+
+    # K-loop prologue/epilogue amortization.
+    k_util = shape.k / (shape.k + device.gemm_k_half)
+
+    return ceiling * tile_util * wave_util * k_util
+
+
+def shape_efficiency(shape: GemmShape, device: DeviceModel) -> float:
+    """Fraction of achievable peak a GEMM shape realizes.
+
+    The BLAS library autotunes over macro-tile sizes, so the model takes
+    the best of :data:`TILE_CANDIDATES` — small GEMMs trade per-tile
+    efficiency for occupancy, exactly the regime where fusing the three
+    attention linear GEMMs pays off (Fig. 12b).
+    """
+    return max(_tile_efficiency(shape, device, tm, tn, ceiling)
+               for tm, tn, ceiling in TILE_CANDIDATES)
+
+
+def gemm_time(shape: GemmShape, dtype: DType,
+              device: DeviceModel) -> GemmTimeBreakdown:
+    """Execution-time breakdown of a (batched) GEMM on ``device``.
+
+    Memory time assumes each operand is streamed once — valid for the
+    K-resident blocking real BLAS libraries use at these sizes — through the
+    streaming bandwidth path.
+    """
+    engine = device.gemm_engine(dtype)
+    efficiency = shape_efficiency(shape, device)
+    compute_s = shape.flops / (engine.effective_peak * efficiency)
+
+    bytes_moved = shape.bytes_total(dtype)
+    ceiling = device.gemm_mem_efficiency * device.peak_bandwidth
+    ramp = bytes_moved / (bytes_moved + device.bw_saturation_bytes)
+    memory_s = bytes_moved / (ceiling * ramp)
+
+    return GemmTimeBreakdown(compute_s=compute_s, memory_s=memory_s,
+                             overhead_s=device.kernel_launch_overhead_s,
+                             efficiency=efficiency)
+
+
+def is_memory_bound(shape: GemmShape, dtype: DType,
+                    device: DeviceModel) -> bool:
+    """Whether the GEMM is limited by memory traffic on ``device``."""
+    return gemm_time(shape, dtype, device).memory_bound

@@ -1,0 +1,188 @@
+"""Wave-level event-driven timing backend.
+
+A second, finer-grained timing model that cross-checks the closed-form
+roofline of :mod:`repro.hw.timing`.  Instead of pricing a kernel as one
+``max(compute, memory)`` expression, it decomposes the kernel into
+workgroups, schedules them over the device's compute units wave by wave,
+and bounds each wave by whichever of its compute time or its share of
+DRAM bandwidth is slower.  Effects the closed form only approximates fall out
+naturally here:
+
+* the **tail wave** of a kernel underfills the machine and runs at partial
+  bandwidth/compute;
+* a kernel can be compute-bound in its full waves yet memory-bound in its
+  tail (or vice versa);
+* workgroup remainders are per-wave, not amortized.
+
+The backend exists to *validate* the analytical model (the test suite
+checks they agree within tight bounds on full BERT traces), and as the
+natural place for finer microarchitectural studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceModel
+from repro.hw.gemm_model import TILE_CANDIDATES
+from repro.ops.base import Kernel, OpClass
+
+#: Elements one elementwise/reduction workgroup processes.
+EW_WORKGROUP_ELEMENTS = 64 * 1024
+
+
+@dataclass(frozen=True)
+class Workgroup:
+    """One schedulable unit of a kernel.
+
+    Attributes:
+        compute_s: busy time on its compute unit.
+        bytes_moved: DRAM traffic it generates.
+    """
+
+    compute_s: float
+    bytes_moved: int
+
+
+@dataclass(frozen=True)
+class KernelSimResult:
+    """Simulated execution of one kernel.
+
+    Attributes:
+        time_s: total time including launch overhead.
+        waves: scheduling waves executed.
+        tail_utilization: CU occupancy of the final wave.
+    """
+
+    time_s: float
+    waves: int
+    tail_utilization: float
+
+
+def _gemm_workgroups(kernel: Kernel, device: DeviceModel) -> list[Workgroup]:
+    """Decompose a (batched) GEMM into output-tile workgroups.
+
+    Uses the same autotuned tile selection as the analytical model so the
+    two backends describe the same machine.
+    """
+    shape = kernel.gemm
+    engine = device.gemm_engine(kernel.dtype)
+    # Fused GEMM kernels carry extra arithmetic beyond the anchor shape;
+    # spread it over the tiles proportionally.
+    fusion_factor = kernel.flops / shape.flops if shape.flops else 1.0
+
+    def wave_time(tile_m: int, tile_n: int, ceiling: float) -> float:
+        flops = 2 * tile_m * tile_n * shape.k * fusion_factor
+        k_util = shape.k / (shape.k + device.gemm_k_half)
+        per_cu = engine.effective_peak / device.compute_units
+        return flops / (per_cu * ceiling * k_util)
+
+    best: list[Workgroup] | None = None
+    best_estimate = math.inf
+    for tile_m, tile_n, ceiling in TILE_CANDIDATES:
+        tiles_m = math.ceil(shape.m / tile_m)
+        tiles_n = math.ceil(shape.n / tile_n)
+        count = tiles_m * tiles_n * shape.batch
+        compute = wave_time(tile_m, tile_n, ceiling)
+        # DRAM traffic: panels are reused across the tiles of a wave via
+        # the cache hierarchy, so the kernel moves its minimal traffic
+        # (each operand streamed once); tiles share it evenly.
+        traffic = kernel.bytes_total / count
+        waves = math.ceil(count / device.compute_units)
+        estimate = waves * compute
+        if estimate < best_estimate:
+            best_estimate = estimate
+            best = [Workgroup(compute_s=compute, bytes_moved=int(traffic))
+                    for _ in range(count)]
+    assert best is not None
+    return best
+
+
+def _ew_workgroups(kernel: Kernel, device: DeviceModel) -> list[Workgroup]:
+    """Decompose an elementwise/reduction/gather kernel by elements."""
+    elements = max(kernel.n_elements,
+                   kernel.bytes_total // max(1, kernel.dtype.bytes))
+    count = max(1, math.ceil(elements / EW_WORKGROUP_ELEMENTS))
+    bytes_each = kernel.bytes_total / count
+    flops_each = kernel.flops / count
+    from repro.ops.base import DType
+    tflops = device.vector_tflops.get(kernel.dtype)
+    if tflops is None:
+        tflops = device.vector_tflops[DType.FP32]
+    per_cu = tflops * 1e12 / device.compute_units
+    return [Workgroup(compute_s=flops_each / per_cu,
+                      bytes_moved=int(bytes_each)) for _ in range(count)]
+
+
+def simulate_kernel(kernel: Kernel, device: DeviceModel) -> KernelSimResult:
+    """Simulate one kernel wave by wave.
+
+    Each wave dispatches up to ``compute_units`` workgroups; the wave's
+    duration is the larger of its longest workgroup compute time and its
+    aggregate traffic over the achieved DRAM bandwidth for this kernel's
+    access pattern.
+    """
+    if kernel.op_class is OpClass.COMMUNICATION:
+        raise ValueError("communication kernels are priced by "
+                         "repro.distributed")
+    if kernel.op_class.is_gemm:
+        if kernel.gemm is None:
+            raise ValueError(f"GEMM kernel {kernel.name!r} missing shape")
+        workgroups = _gemm_workgroups(kernel, device)
+        bandwidth_ceiling = device.gemm_mem_efficiency * device.peak_bandwidth
+    else:
+        workgroups = _ew_workgroups(kernel, device)
+        bandwidth_ceiling = (device.mem_efficiency[kernel.access]
+                             * device.peak_bandwidth)
+
+    # Small transfers never reach the ceiling (same ramp as the closed
+    # form, applied at kernel granularity).
+    ramp = kernel.bytes_total / (kernel.bytes_total
+                                 + device.bw_saturation_bytes)
+    bandwidth = bandwidth_ceiling * max(ramp, 1e-9)
+
+    cu = device.compute_units
+    total = 0.0
+    waves = 0
+    tail_utilization = 1.0
+    for start in range(0, len(workgroups), cu):
+        wave = workgroups[start:start + cu]
+        compute = max(w.compute_s for w in wave)
+        traffic = sum(w.bytes_moved for w in wave)
+        total += max(compute, traffic / bandwidth)
+        waves += 1
+        tail_utilization = len(wave) / cu
+    return KernelSimResult(
+        time_s=total + device.kernel_launch_overhead_s,
+        waves=waves, tail_utilization=tail_utilization)
+
+
+def simulate_trace(kernels, device: DeviceModel) -> float:
+    """Serialized simulated time of a kernel sequence, in seconds."""
+    return sum(simulate_kernel(k, device).time_s for k in kernels)
+
+
+@dataclass(frozen=True)
+class BackendComparison:
+    """Agreement between the analytical and event-driven backends.
+
+    Attributes:
+        analytical_s / simulated_s: total trace times per backend.
+    """
+
+    analytical_s: float
+    simulated_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.simulated_s / self.analytical_s
+
+
+def compare_backends(kernels, device: DeviceModel) -> BackendComparison:
+    """Run both timing backends over the same kernels."""
+    from repro.hw.timing import trace_time
+
+    return BackendComparison(
+        analytical_s=trace_time(list(kernels), device),
+        simulated_s=simulate_trace(list(kernels), device))

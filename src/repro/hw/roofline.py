@@ -1,0 +1,72 @@
+"""Roofline utilities.
+
+Small helpers to place kernels on a device's roofline: attainable
+performance at a given arithmetic intensity, the ridge point, and
+classification of kernels/groups as compute- or memory-bound — the lens
+through which the paper reads Figs. 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.hw.device import DeviceModel
+from repro.ops.base import DType, Kernel
+from repro.ops.intensity import Boundedness, IntensityRecord
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel/group placed on the roofline.
+
+    Attributes:
+        label: display label.
+        intensity: ops/byte.
+        attainable_flops: min(peak, intensity * bandwidth) in FLOP/s.
+        boundedness: which roof limits it.
+    """
+
+    label: str
+    intensity: float
+    attainable_flops: float
+    boundedness: Boundedness
+
+
+def ridge_point(device: DeviceModel, dtype: DType) -> float:
+    """Intensity (ops/byte) at which the two roofs meet for ``dtype``."""
+    return device.machine_balance(dtype)
+
+
+def attainable(intensity: float, device: DeviceModel, dtype: DType) -> float:
+    """Attainable FLOP/s at a given arithmetic intensity."""
+    if intensity < 0:
+        raise ValueError("intensity must be non-negative")
+    compute_roof = device.gemm_engine(dtype).effective_peak
+    memory_roof = intensity * device.peak_bandwidth
+    return min(compute_roof, memory_roof)
+
+
+def place(record: IntensityRecord, device: DeviceModel,
+          dtype: DType) -> RooflinePoint:
+    """Place an intensity record on the device's roofline."""
+    intensity = record.intensity
+    return RooflinePoint(
+        label=record.label,
+        intensity=intensity,
+        attainable_flops=attainable(intensity, device, dtype),
+        boundedness=record.boundedness(ridge_point(device, dtype)),
+    )
+
+
+def classify_kernels(kernels: Iterable[Kernel],
+                     device: DeviceModel) -> dict[str, Boundedness]:
+    """Map kernel name -> roofline boundedness on ``device``."""
+    result = {}
+    for kernel in kernels:
+        balance = ridge_point(device, kernel.dtype)
+        bounded = (Boundedness.COMPUTE_BOUND
+                   if kernel.arithmetic_intensity >= balance
+                   else Boundedness.MEMORY_BOUND)
+        result[kernel.name] = bounded
+    return result

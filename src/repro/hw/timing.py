@@ -1,0 +1,69 @@
+"""Kernel -> execution time dispatch.
+
+Assigns a time to every :class:`~repro.ops.base.Kernel` on a
+:class:`~repro.hw.device.DeviceModel`:
+
+* (batched) GEMMs go through the tile/wave model of
+  :mod:`repro.hw.gemm_model`;
+* elementwise/reduction/gather kernels are memory-streaming-limited, with a
+  vector-arithmetic floor for math-heavy kernels (erf, exp);
+* communication kernels are priced by the distributed model, not here, and
+  are rejected.
+
+Every kernel pays the device's launch overhead — the term that makes the
+unfused-optimizer kernel storms of Fig. 12 expensive despite tiny sizes.
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import DeviceModel
+from repro.hw.gemm_model import gemm_time
+from repro.ops.base import DType, Kernel, OpClass
+
+
+def _vector_peak(device: DeviceModel, dtype: DType) -> float:
+    """Vector-pipeline FLOP/s for ``dtype``, falling back to FP32."""
+    tflops = device.vector_tflops.get(dtype)
+    if tflops is None:
+        tflops = device.vector_tflops[DType.FP32]
+    return tflops * 1e12
+
+
+def kernel_time(kernel: Kernel, device: DeviceModel) -> float:
+    """Execution time of one kernel, in seconds."""
+    if kernel.op_class is OpClass.COMMUNICATION:
+        raise ValueError(
+            f"communication kernel {kernel.name!r} must be priced by "
+            "repro.distributed, not the device timing model")
+
+    if kernel.op_class.is_gemm:
+        if kernel.gemm is None:
+            raise ValueError(f"GEMM kernel {kernel.name!r} missing shape")
+        if kernel.flops == kernel.gemm.flops:
+            return gemm_time(kernel.gemm, kernel.dtype, device).total_s
+        # Fused GEMM kernel (e.g. fused attention): the anchor shape sets
+        # the tiling efficiency; totals come from the kernel record.
+        from repro.hw.gemm_model import shape_efficiency
+
+        engine = device.gemm_engine(kernel.dtype)
+        efficiency = shape_efficiency(kernel.gemm, device)
+        compute_s = kernel.flops / (engine.effective_peak * efficiency)
+        ceiling = device.gemm_mem_efficiency * device.peak_bandwidth
+        ramp = kernel.bytes_total / (kernel.bytes_total
+                                     + device.bw_saturation_bytes)
+        memory_s = kernel.bytes_total / (ceiling * max(ramp, 1e-9))
+        return max(compute_s, memory_s) + device.kernel_launch_overhead_s
+
+    bandwidth = device.achieved_bandwidth(kernel.access, kernel.bytes_total)
+    memory_s = kernel.bytes_total / bandwidth if kernel.bytes_total else 0.0
+    compute_s = kernel.flops / _vector_peak(device, kernel.dtype)
+    return max(memory_s, compute_s) + device.kernel_launch_overhead_s
+
+
+def trace_time(kernels: list[Kernel], device: DeviceModel) -> float:
+    """Total serialized execution time of a kernel sequence.
+
+    The paper profiles eager, stream-serialized execution, so kernel times
+    add; overlap only enters through the distributed model.
+    """
+    return sum(kernel_time(kernel, device) for kernel in kernels)

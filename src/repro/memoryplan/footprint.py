@@ -1,0 +1,143 @@
+"""Device-memory footprint estimation.
+
+Checkpointing exists to "overcome device memory capacity issues" (Sec. 4).
+This estimator quantifies that: weights + optimizer state + gradients +
+activations saved for backprop, with and without checkpointing, so tests
+and examples can show the capacity/recompute trade-off on a 32 GB device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BertConfig, Precision, TrainingConfig
+from repro.memoryplan.checkpointing import checkpoint_segments
+from repro.trace.parameters import bert_parameter_inventory
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Byte totals of one device's training state.
+
+    Attributes:
+        weights: model weights (FP16 copy included under mixed precision).
+        gradients: weight gradients.
+        optimizer_state: FP32 master weights + momentum + velocity.
+        activations: tensors saved for backprop.
+        workspace: transient per-kernel scratch (largest live activation).
+    """
+
+    weights: int
+    gradients: int
+    optimizer_state: int
+    activations: int
+    workspace: int
+
+    @property
+    def total(self) -> int:
+        return (self.weights + self.gradients + self.optimizer_state
+                + self.activations + self.workspace)
+
+    def fits(self, capacity_gb: float) -> bool:
+        """Whether the footprint fits a device of ``capacity_gb`` GB."""
+        return self.total <= capacity_gb * 1e9
+
+
+def layer_activation_bytes(model: BertConfig, training: TrainingConfig) -> int:
+    """Bytes one encoder layer saves for backprop (eager execution).
+
+    Counts the stashed tensors of the attention and FC sublayers: sublayer
+    inputs, Q/K/V, the two score-shaped tensors (masked scores and softmax
+    output), dropout masks (1 B/element), the FC intermediate pair, residual
+    sums and LayerNorm statistics.
+    """
+    eb = training.precision.activation_bytes
+    tokens = training.tokens_per_iteration
+    d, f = model.d_model, model.d_ff
+    scores = training.batch_size * model.num_heads * training.seq_len ** 2
+
+    token_d = tokens * d
+    attention = (
+        token_d * eb          # sublayer input
+        + 3 * token_d * eb    # Q, K, V
+        + 2 * scores * eb     # masked scores, softmax output
+        + scores              # score dropout mask
+        + token_d * eb        # attention context
+        + token_d * eb        # linear-out input
+        + token_d             # post dropout mask
+        + token_d * eb        # residual sum (LayerNorm input)
+        + 2 * tokens * eb     # LayerNorm statistics
+    )
+    feed_forward = (
+        token_d * eb          # sublayer input
+        + 2 * tokens * f * eb # FC1 output, GeLU output
+        + token_d             # post dropout mask
+        + token_d * eb        # residual sum
+        + 2 * tokens * eb     # LayerNorm statistics
+    )
+    return attention + feed_forward
+
+
+def training_footprint(model: BertConfig, training: TrainingConfig,
+                       num_checkpoints: int | None = None) -> MemoryFootprint:
+    """Footprint of single-device training.
+
+    With activation checkpointing enabled in ``training``, only segment
+    boundaries (plus one live segment being recomputed) hold activations.
+    """
+    params = sum(t.n_elements for t in bert_parameter_inventory(model))
+    mixed = training.precision is Precision.MIXED
+
+    weights = params * (4 + (2 if mixed else 0))
+    gradients = params * training.precision.activation_bytes
+    # FP32 master weights live inside `weights`; m and v are the extra state.
+    optimizer_state = 2 * params * 4
+
+    per_layer = layer_activation_bytes(model, training)
+    boundary = (training.tokens_per_iteration * model.d_model
+                * training.precision.activation_bytes)
+    if training.activation_checkpointing:
+        segments = checkpoint_segments(model.num_layers, num_checkpoints)
+        live_segment = max(len(s) for s in segments)
+        activations = len(segments) * boundary + live_segment * per_layer
+    else:
+        activations = model.num_layers * per_layer
+
+    # Largest transient: the masked-position vocabulary logits of the MLM
+    # head, or one FC intermediate, whichever is bigger.
+    eb = training.precision.activation_bytes
+    workspace = max(
+        training.masked_positions * model.vocab_size * eb,
+        training.tokens_per_iteration * model.d_ff * eb,
+    )
+    return MemoryFootprint(weights=weights, gradients=gradients,
+                           optimizer_state=optimizer_state,
+                           activations=activations, workspace=workspace)
+
+
+def max_batch_size(model: BertConfig, training: TrainingConfig,
+                   capacity_gb: float, limit: int = 4096) -> int:
+    """Largest mini-batch that fits in ``capacity_gb`` GB, by doubling
+    search then linear refinement.
+
+    Returns:
+        0 if even ``B=1`` does not fit.
+    """
+    import dataclasses as _dc
+
+    def fits(batch: int) -> bool:
+        probe = _dc.replace(training, batch_size=batch)
+        return training_footprint(model, probe).fits(capacity_gb)
+
+    if not fits(1):
+        return 0
+    batch = 1
+    while batch < limit and fits(batch * 2):
+        batch *= 2
+    best = batch
+    step = batch // 2
+    while step:
+        if best + step <= limit and fits(best + step):
+            best += step
+        step //= 2
+    return best

@@ -1,0 +1,19 @@
+"""Executable NumPy BERT model."""
+
+from repro.model.attention import MultiHeadSelfAttention
+from repro.model.bert import BertForPreTraining
+from repro.model.embeddings import BertEmbeddings
+from repro.model.encoder import Encoder, EncoderLayer
+from repro.model.feedforward import FeedForward
+from repro.model.fused_attention import (attention_memory_elements,
+                                         blockwise_attention,
+                                         reference_attention)
+from repro.model.heads import (MaskedLMHead, NextSentenceHead,
+                               PreTrainingHeads)
+
+__all__ = [
+    "BertEmbeddings", "BertForPreTraining", "Encoder", "EncoderLayer",
+    "FeedForward", "MaskedLMHead", "MultiHeadSelfAttention",
+    "NextSentenceHead", "PreTrainingHeads", "attention_memory_elements",
+    "blockwise_attention", "reference_attention",
+]

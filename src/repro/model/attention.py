@@ -1,0 +1,72 @@
+"""Multi-head self-attention (Figs. 2c/2d and 5 of the paper).
+
+All tokens of all sequences are packed into matrices, so every computation
+manifests as a (batched) GEMM even at mini-batch one — the property the
+paper repeatedly stresses against matrix-vector accelerator designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BertConfig
+from repro.tensor import functional as F
+from repro.tensor.module import Dropout, LayerNorm, Linear, Module
+from repro.tensor.tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """The attention sublayer: QKV projections, scaled dot-product
+    attention per head, output projection, then dropout + residual + LN."""
+
+    def __init__(self, config: BertConfig, *, rng: np.random.Generator,
+                 dropout_p: float = 0.1):
+        super().__init__()
+        self.config = config
+        d = config.d_model
+        self.query = Linear(d, d, rng=rng)
+        self.key = Linear(d, d, rng=rng)
+        self.value = Linear(d, d, rng=rng)
+        self.output = Linear(d, d, rng=rng)
+        self.score_dropout = Dropout(dropout_p, rng)
+        self.out_dropout = Dropout(dropout_p, rng)
+        self.layernorm = LayerNorm(d)
+
+    def _split_heads(self, x: Tensor, batch: int, seq_len: int) -> Tensor:
+        """(B, n, d) -> (B, h, n, d_head)."""
+        h, d_head = self.config.num_heads, self.config.d_head
+        return x.reshape(batch, seq_len, h, d_head).transpose(0, 2, 1, 3)
+
+    def attention_scores(self, hidden: Tensor,
+                         attention_bias: np.ndarray | None = None) -> Tensor:
+        """Softmax-normalized attention probabilities ``(B, h, n, n)``.
+
+        Exposed separately so tests and examples can inspect the score
+        matrices (each row sums to one).
+        """
+        batch, seq_len, _ = hidden.shape
+        q = self._split_heads(self.query(hidden), batch, seq_len)
+        k = self._split_heads(self.key(hidden), batch, seq_len)
+        scores = q.matmul(k.transpose(0, 1, 3, 2))
+        scores = scores * (1.0 / np.sqrt(self.config.d_head))
+        if attention_bias is not None:
+            scores = scores + Tensor(attention_bias)
+        return F.softmax(scores, axis=-1)
+
+    def forward(self, hidden: Tensor,
+                attention_bias: np.ndarray | None = None) -> Tensor:
+        """Apply the attention sublayer to ``(B, n, d_model)`` activations.
+
+        Args:
+            hidden: input activations.
+            attention_bias: optional additive mask ``(B, 1, 1, n)`` (see
+                :func:`repro.tensor.functional.attention_mask_bias`).
+        """
+        batch, seq_len, d = hidden.shape
+        probs = self.score_dropout(self.attention_scores(hidden,
+                                                         attention_bias))
+        v = self._split_heads(self.value(hidden), batch, seq_len)
+        context = probs.matmul(v)                        # (B, h, n, d_head)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, d)
+        projected = self.out_dropout(self.output(context))
+        return self.layernorm(projected + hidden)

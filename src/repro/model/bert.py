@@ -1,0 +1,75 @@
+"""The full pre-training BERT model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BertConfig
+from repro.model.embeddings import BertEmbeddings
+from repro.model.encoder import Encoder
+from repro.model.heads import PreTrainingHeads
+from repro.tensor import functional as F
+from repro.tensor.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class BertForPreTraining(Module):
+    """Embeddings + encoder stack + MLM/NSP heads, trainable end to end.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.config import BERT_TINY
+        >>> model = BertForPreTraining(BERT_TINY, seed=0)
+        >>> tokens = np.zeros((2, 16), dtype=np.int64)
+        >>> hidden = model.encode(tokens)
+        >>> hidden.shape
+        (2, 16, 64)
+    """
+
+    def __init__(self, config: BertConfig, *, seed: int = 0,
+                 dropout_p: float = 0.1):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.embeddings = BertEmbeddings(config, rng=rng,
+                                         dropout_p=dropout_p)
+        self.encoder = Encoder(config, rng=rng, dropout_p=dropout_p)
+        self.heads = PreTrainingHeads(config, self.embeddings.token.weight,
+                                      rng=rng)
+
+    def encode(self, token_ids: np.ndarray,
+               segment_ids: np.ndarray | None = None,
+               padding_mask: np.ndarray | None = None,
+               causal: bool = False) -> Tensor:
+        """Encoder output ``(B, n, d_model)`` for a token batch.
+
+        Args:
+            token_ids: ``(B, n)`` integer token ids.
+            segment_ids: sentence A/B ids.
+            padding_mask: ``(B, n)`` boolean, True at valid positions.
+            causal: apply a decoder-style mask so each position attends
+                only to itself and earlier positions (Sec. 2.3's
+                masked-attention variant; training cost is unchanged).
+        """
+        padding_bias = (F.attention_mask_bias(padding_mask)
+                        if padding_mask is not None else None)
+        causal_bias = (F.causal_attention_bias(np.asarray(token_ids).shape[1])
+                       if causal else None)
+        bias = F.combine_attention_biases(padding_bias, causal_bias)
+        hidden = self.embeddings(token_ids, segment_ids)
+        return self.encoder(hidden, bias)
+
+    def forward(self, token_ids: np.ndarray,
+                segment_ids: np.ndarray | None = None,
+                padding_mask: np.ndarray | None = None
+                ) -> tuple[Tensor, Tensor]:
+        """MLM logits ``(B, n, vocab)`` and NSP logits ``(B, 2)``."""
+        return self.heads(self.encode(token_ids, segment_ids, padding_mask))
+
+    def loss(self, token_ids: np.ndarray, mlm_labels: np.ndarray,
+             nsp_labels: np.ndarray,
+             segment_ids: np.ndarray | None = None,
+             padding_mask: np.ndarray | None = None) -> Tensor:
+        """Combined pre-training loss for one batch."""
+        hidden = self.encode(token_ids, segment_ids, padding_mask)
+        return self.heads.loss(hidden, mlm_labels, nsp_labels)

@@ -1,0 +1,53 @@
+"""BERT input embedding layer.
+
+Token + position + segment table lookups, summed, then LayerNorm and
+dropout — the (runtime-negligible, Obs. 1) front of the network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BertConfig
+from repro.tensor.module import Dropout, Embedding, LayerNorm, Module
+from repro.tensor.tensor import Tensor
+
+
+class BertEmbeddings(Module):
+    """Input representation: token, position and segment embeddings."""
+
+    def __init__(self, config: BertConfig, *, rng: np.random.Generator,
+                 dropout_p: float = 0.1):
+        super().__init__()
+        self.config = config
+        self.token = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.position = Embedding(config.max_position, config.d_model,
+                                  rng=rng)
+        self.segment = Embedding(config.type_vocab_size, config.d_model,
+                                 rng=rng)
+        self.layernorm = LayerNorm(config.d_model)
+        self.dropout = Dropout(dropout_p, rng)
+
+    def forward(self, token_ids: np.ndarray,
+                segment_ids: np.ndarray | None = None) -> Tensor:
+        """Embed a ``(B, n)`` batch of token ids into ``(B, n, d_model)``.
+
+        Args:
+            token_ids: integer token ids.
+            segment_ids: sentence A/B ids; defaults to all zeros.
+        """
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError("token_ids must be (batch, seq_len)")
+        batch, seq_len = token_ids.shape
+        if seq_len > self.config.max_position:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max_position "
+                f"{self.config.max_position}")
+        if segment_ids is None:
+            segment_ids = np.zeros_like(token_ids)
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+
+        summed = (self.token(token_ids) + self.position(positions)
+                  + self.segment(np.asarray(segment_ids)))
+        return self.dropout(self.layernorm(summed))

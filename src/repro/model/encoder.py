@@ -1,0 +1,62 @@
+"""Transformer encoder layer and stack (Fig. 2a/2b)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BertConfig
+from repro.model.attention import MultiHeadSelfAttention
+from repro.model.feedforward import FeedForward
+from repro.tensor.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class EncoderLayer(Module):
+    """One Transformer encoder layer: attention then FC, each with its
+    residual connection and LayerNorm."""
+
+    def __init__(self, config: BertConfig, *, rng: np.random.Generator,
+                 dropout_p: float = 0.1):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(config, rng=rng,
+                                                dropout_p=dropout_p)
+        self.ffn = FeedForward(config, rng=rng, dropout_p=dropout_p)
+
+    def forward(self, hidden: Tensor,
+                attention_bias: np.ndarray | None = None) -> Tensor:
+        hidden = self.attention(hidden, attention_bias)
+        return self.ffn(hidden)
+
+
+class Encoder(Module):
+    """Stack of ``N`` encoder layers."""
+
+    def __init__(self, config: BertConfig, *, rng: np.random.Generator,
+                 dropout_p: float = 0.1):
+        super().__init__()
+        self.config = config
+        for index in range(config.num_layers):
+            setattr(self, f"layer{index}",
+                    EncoderLayer(config, rng=rng, dropout_p=dropout_p))
+
+    def layers(self) -> list[EncoderLayer]:
+        """The encoder layers, in order."""
+        return [getattr(self, f"layer{i}")
+                for i in range(self.config.num_layers)]
+
+    def forward(self, hidden: Tensor,
+                attention_bias: np.ndarray | None = None,
+                return_all: bool = False):
+        """Run the stack.
+
+        Args:
+            hidden: ``(B, n, d_model)`` embedded input.
+            attention_bias: additive attention mask.
+            return_all: also return every layer's output (for analysis).
+        """
+        outputs = []
+        for layer in self.layers():
+            hidden = layer(hidden, attention_bias)
+            if return_all:
+                outputs.append(hidden)
+        return (hidden, outputs) if return_all else hidden

@@ -1,0 +1,32 @@
+"""The FC (position-wise feed-forward) sublayer.
+
+Two dense layers with a GeLU between them — the FC-1/FC-2 GEMMs of
+Table 2b, which dominate BERT's runtime (Obs. 2) because of the 4x
+intermediate dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BertConfig
+from repro.tensor import functional as F
+from repro.tensor.module import Dropout, LayerNorm, Linear, Module
+from repro.tensor.tensor import Tensor
+
+
+class FeedForward(Module):
+    """FC sublayer: ``LN(x + DR(W2 @ gelu(W1 @ x)))``."""
+
+    def __init__(self, config: BertConfig, *, rng: np.random.Generator,
+                 dropout_p: float = 0.1):
+        super().__init__()
+        self.fc1 = Linear(config.d_model, config.d_ff, rng=rng)
+        self.fc2 = Linear(config.d_ff, config.d_model, rng=rng)
+        self.dropout = Dropout(dropout_p, rng)
+        self.layernorm = LayerNorm(config.d_model)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        intermediate = F.gelu(self.fc1(hidden))
+        projected = self.dropout(self.fc2(intermediate))
+        return self.layernorm(projected + hidden)

@@ -1,0 +1,85 @@
+"""Output heads: masked-LM and next-sentence prediction (Sec. 2.3).
+
+The MLM decoder weight is tied to the token embedding table, as in the
+reference implementation; every position is projected to the vocabulary and
+the loss ignores unmasked positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BertConfig
+from repro.tensor import functional as F
+from repro.tensor.module import LayerNorm, Linear, Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class MaskedLMHead(Module):
+    """Transform (dense + GeLU + LN) then tied-weight vocab decoder."""
+
+    def __init__(self, config: BertConfig, token_embedding: Parameter, *,
+                 rng: np.random.Generator):
+        super().__init__()
+        d = config.d_model
+        self.transform = Linear(d, d, rng=rng)
+        self.layernorm = LayerNorm(d)
+        # Tied to the token embedding table: bypass parameter registration
+        # so the shared tensor is counted (and updated) exactly once.
+        object.__setattr__(self, "_decoder_weight", token_embedding)
+        self.decoder_bias = Parameter(
+            np.zeros(config.vocab_size, dtype=np.float32),
+            name="decoder_bias")
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        """Vocabulary logits ``(B, n, vocab)`` from ``(B, n, d)`` states."""
+        transformed = self.layernorm(F.gelu(self.transform(hidden)))
+        logits = transformed.matmul(self._decoder_weight.transpose())
+        return logits + self.decoder_bias
+
+
+class NextSentenceHead(Module):
+    """Pooler (dense + tanh over [CLS]) and binary classifier."""
+
+    def __init__(self, config: BertConfig, *, rng: np.random.Generator):
+        super().__init__()
+        d = config.d_model
+        self.pooler = Linear(d, d, rng=rng)
+        self.classifier = Linear(d, 2, rng=rng)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        """NSP logits ``(B, 2)`` from ``(B, n, d)`` encoder output."""
+        cls = hidden[:, 0, :]
+        pooled = self.pooler(cls).tanh()
+        return self.classifier(pooled)
+
+
+class PreTrainingHeads(Module):
+    """Both pre-training heads plus the combined loss."""
+
+    def __init__(self, config: BertConfig, token_embedding: Parameter, *,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.mlm = MaskedLMHead(config, token_embedding, rng=rng)
+        self.nsp = NextSentenceHead(config, rng=rng)
+
+    def forward(self, hidden: Tensor) -> tuple[Tensor, Tensor]:
+        return self.mlm(hidden), self.nsp(hidden)
+
+    def loss(self, hidden: Tensor, mlm_labels: np.ndarray,
+             nsp_labels: np.ndarray, *, ignore_index: int = -100) -> Tensor:
+        """Masked-LM + NSP cross-entropy.
+
+        Args:
+            hidden: ``(B, n, d)`` encoder output.
+            mlm_labels: ``(B, n)`` target token ids, ``ignore_index`` where
+                unmasked.
+            nsp_labels: ``(B,)`` is-next labels.
+        """
+        mlm_logits, nsp_logits = self(hidden)
+        batch, seq_len, vocab = mlm_logits.shape
+        mlm_loss = F.cross_entropy(
+            mlm_logits.reshape(batch * seq_len, vocab),
+            np.asarray(mlm_labels).reshape(-1), ignore_index=ignore_index)
+        nsp_loss = F.cross_entropy(nsp_logits, np.asarray(nsp_labels))
+        return mlm_loss + nsp_loss

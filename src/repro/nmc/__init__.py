@@ -1,0 +1,7 @@
+"""Near-memory compute modeling (Sec. 6.2.1)."""
+
+from repro.nmc.model import NmcConfig, hbm2_bank_nmc
+from repro.nmc.offload import LambOffloadResult, evaluate_lamb_offload
+
+__all__ = ["LambOffloadResult", "NmcConfig", "evaluate_lamb_offload",
+           "hbm2_bank_nmc"]

@@ -1,0 +1,88 @@
+"""Near-memory compute (NMC) device model (Sec. 6.2.1).
+
+Models the "balanced design point" the paper evaluates: one SIMD ALU per
+DRAM bank, commands broadcast from the host, data placed so each ALU
+operates on its own bank.  Performance is bounded by (a) the aggregate
+*internal* bank bandwidth — several times the external pin bandwidth,
+because all banks stream in parallel without sharing the off-chip
+interface — and (b) aggregate ALU throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceModel
+
+
+@dataclass(frozen=True)
+class NmcConfig:
+    """Bank-level NMC design parameters.
+
+    Attributes:
+        name: configuration label.
+        banks: DRAM banks with an attached ALU.
+        bank_bandwidth_gbps: per-bank internal streaming bandwidth (row
+            buffer reads at tCCD cadence), GB/s.
+        alu_ops_per_cycle: SIMD FP operations per ALU per cycle.
+        clock_ghz: ALU/command clock.
+        command_overhead_us: fixed broadcast/setup cost per offloaded
+            operation group.
+    """
+
+    name: str
+    banks: int
+    bank_bandwidth_gbps: float
+    alu_ops_per_cycle: int
+    clock_ghz: float
+    command_overhead_us: float = 2.0
+
+    def __post_init__(self) -> None:
+        if min(self.banks, self.alu_ops_per_cycle) <= 0:
+            raise ValueError("banks and alu_ops_per_cycle must be positive")
+        if self.bank_bandwidth_gbps <= 0 or self.clock_ghz <= 0:
+            raise ValueError("bandwidth and clock must be positive")
+
+    @property
+    def internal_bandwidth(self) -> float:
+        """Aggregate bank-level bandwidth in bytes/s."""
+        return self.banks * self.bank_bandwidth_gbps * 1e9
+
+    @property
+    def alu_throughput(self) -> float:
+        """Aggregate FLOP/s of the bank ALUs."""
+        return self.banks * self.alu_ops_per_cycle * self.clock_ghz * 1e9
+
+    def execution_time(self, *, flops: int, bytes_moved: int,
+                       command_groups: int = 1) -> float:
+        """Time to execute an offloaded elementwise phase.
+
+        Args:
+            flops: arithmetic operation count.
+            bytes_moved: bank-local reads + writes.
+            command_groups: broadcast command batches issued by the host.
+        """
+        if flops < 0 or bytes_moved < 0 or command_groups < 1:
+            raise ValueError("invalid NMC workload description")
+        streaming = bytes_moved / self.internal_bandwidth
+        arithmetic = flops / self.alu_throughput
+        return max(streaming, arithmetic) + (command_groups
+                                             * self.command_overhead_us * 1e-6)
+
+
+def hbm2_bank_nmc(device: DeviceModel | None = None) -> NmcConfig:
+    """Bank-level NMC for an MI100-class HBM2 system.
+
+    32 GB of HBM2 across 4 stacks x 8 channels x 16 banks = 512 banks.
+    Per-bank streaming of ~9.6 GB/s (row-buffer reads at tCCD) gives an
+    aggregate internal bandwidth of ~4.9 TB/s, i.e. ~4x the 1.23 TB/s pin
+    bandwidth — the ratio bank-level PIM proposals (GradPIM [46], the
+    HBM-PIM industrial products [53, 54]) report.
+    """
+    return NmcConfig(
+        name="hbm2-bank-nmc",
+        banks=512,
+        bank_bandwidth_gbps=9.6,
+        alu_ops_per_cycle=16,
+        clock_ghz=1.2,
+    )

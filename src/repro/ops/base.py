@@ -1,0 +1,190 @@
+"""Architecture-agnostic kernel records.
+
+The paper's characterization is built on the *manifestation, size and
+arithmetic behavior* of operations rather than on any particular device.
+:class:`Kernel` captures exactly that: what class of computation a launched
+kernel performs, how many floating-point operations it executes, how many
+bytes it moves, and where in the network it belongs.  A full training
+iteration is a sequence of kernels (see :mod:`repro.trace`); devices assign
+time to them (see :mod:`repro.hw`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class DType(Enum):
+    """Element datatypes that appear in BERT training."""
+
+    FP16 = ("fp16", 2)
+    BF16 = ("bf16", 2)
+    FP32 = ("fp32", 4)
+    FP64 = ("fp64", 8)
+    INT32 = ("int32", 4)
+    INT64 = ("int64", 8)
+
+    def __init__(self, label: str, size: int):
+        self.label = label
+        self.size = size
+
+    @property
+    def bytes(self) -> int:
+        """Size of one element in bytes."""
+        return self.size
+
+
+class OpClass(Enum):
+    """Computation class of a kernel, as used throughout the paper."""
+
+    GEMM = "gemm"
+    BATCHED_GEMM = "batched_gemm"
+    ELEMENTWISE = "elementwise"
+    REDUCTION = "reduction"
+    GATHER_SCATTER = "gather_scatter"
+    COMMUNICATION = "communication"
+
+    @property
+    def is_gemm(self) -> bool:
+        """Whether the kernel is a (batched) matrix-matrix multiplication."""
+        return self in (OpClass.GEMM, OpClass.BATCHED_GEMM)
+
+
+class Phase(Enum):
+    """Training-iteration phase a kernel belongs to (Sec. 3.2)."""
+
+    FORWARD = "fwd"
+    BACKWARD = "bwd"
+    OPTIMIZER = "opt"
+    COMMUNICATION = "comm"
+
+
+class AccessPattern(Enum):
+    """Coarse memory-access behavior, used by the device bandwidth model.
+
+    ``STREAMING``: large contiguous reads/writes (elementwise kernels over
+    activation tensors).  ``STRIDED``: row/column-wise reductions and
+    normalizations.  ``MULTI_TENSOR``: optimizer kernels walking many
+    separately-allocated parameter tensors.  ``IRREGULAR``: embedding
+    gathers/scatters.
+    """
+
+    STREAMING = "streaming"
+    STRIDED = "strided"
+    MULTI_TENSOR = "multi_tensor"
+    IRREGULAR = "irregular"
+
+
+class Component(Enum):
+    """Top-level network component for Fig. 3-style breakdowns."""
+
+    EMBEDDING = "embedding"
+    TRANSFORMER = "transformer"
+    OUTPUT = "output"
+    OPTIMIZER = "optimizer"
+    COMMUNICATION = "communication"
+
+
+class Region(Enum):
+    """Fine-grained region labels matching the bars of Figs. 4/8/9.
+
+    Transformer-layer kernels carry one of the first six labels; optimizer
+    kernels one of the ``LAMB_*``/``OPT_*`` labels; the embedding/output
+    layers their own labels.
+    """
+
+    ATTENTION_LINEAR = "attention.linear"
+    ATTENTION_BGEMM = "attention.bgemm"
+    ATTENTION_SMDSM = "attention.scale_mask_dropout_softmax"
+    FC_GEMM = "fc.gemm"
+    FC_GELU = "fc.gelu"
+    DR_RC_LN = "dropout_residual_layernorm"
+    EMBEDDING = "embedding"
+    OUTPUT = "output"
+    LOSS = "loss"
+    OPT_NORM = "optimizer.grad_norm"
+    OPT_STAGE1 = "optimizer.stage1"
+    OPT_STAGE2 = "optimizer.stage2"
+    COMM_ALLREDUCE = "communication.allreduce"
+
+    @property
+    def is_attention(self) -> bool:
+        return self in (Region.ATTENTION_LINEAR, Region.ATTENTION_BGEMM,
+                        Region.ATTENTION_SMDSM)
+
+    @property
+    def is_fc(self) -> bool:
+        return self in (Region.FC_GEMM, Region.FC_GELU)
+
+    @property
+    def is_optimizer(self) -> bool:
+        return self in (Region.OPT_NORM, Region.OPT_STAGE1, Region.OPT_STAGE2)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One launched kernel of a training iteration.
+
+    Attributes:
+        name: descriptive kernel name (e.g. ``"linear_q.fwd.gemm"``).
+        op_class: computation class.
+        phase: FWD / BWD / optimizer / communication.
+        component: top-level network component for coarse breakdowns.
+        region: fine-grained region for hierarchical breakdowns.
+        flops: floating-point operations executed (multiply-accumulate = 2).
+        bytes_read: bytes read from device memory, assuming no inter-kernel
+            caching (each kernel streams its operands from HBM — the paper's
+            fusion analysis relies on exactly this property).
+        bytes_written: bytes written to device memory.
+        dtype: element type of the kernel's main operands.
+        access: memory-access pattern for the bandwidth model.
+        layer_index: encoder layer the kernel belongs to, or ``None`` for
+            embedding/output/optimizer-global kernels.
+        gemm: shape record when ``op_class.is_gemm``.
+        fusion_group: label tying together kernels that a fusion pass may
+            merge (producer-consumer elementwise chains).
+        n_elements: element count of the kernel's principal tensor (the
+            one flowing producer-to-consumer through a fusion group); lets
+            fusion passes compute exactly how much intermediate traffic a
+            merge eliminates.
+    """
+
+    name: str
+    op_class: OpClass
+    phase: Phase
+    component: Component
+    region: Region
+    flops: int
+    bytes_read: int
+    bytes_written: int
+    dtype: DType = DType.FP32
+    access: AccessPattern = AccessPattern.STREAMING
+    layer_index: int | None = None
+    gemm: "object | None" = None
+    fusion_group: str | None = field(default=None)
+    n_elements: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError(f"kernel {self.name!r} has negative cost fields")
+
+    @property
+    def bytes_total(self) -> int:
+        """Total device-memory traffic of the kernel."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Operations per byte of memory traffic (Sec. 2.6)."""
+        if self.bytes_total == 0:
+            return 0.0
+        return self.flops / self.bytes_total
+
+    def with_layer(self, layer_index: int) -> "Kernel":
+        """Return a copy attributed to a specific encoder layer."""
+        return replace(self, layer_index=layer_index)
+
+    def renamed(self, name: str) -> "Kernel":
+        """Return a copy with a different name."""
+        return replace(self, name=name)

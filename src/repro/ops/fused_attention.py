@@ -1,0 +1,107 @@
+"""Cost model of kernel-fused attention (FlashAttention-style).
+
+The eager attention pipeline the paper profiles launches seven-plus
+kernels per direction and streams the ``n x n`` score tensor to DRAM
+between each.  The fused kernel keeps score tiles in on-chip memory:
+
+* forward reads Q, K, V (plus the additive mask) and writes the output
+  and per-row softmax statistics — score-matrix traffic disappears;
+* backward reads Q, K, V, the output, its statistics and the upstream
+  gradient, recomputes score tiles on the fly (extra FLOPs), and writes
+  dQ, dK, dV.
+
+FLOPs are conserved forward (fusion saves traffic, not arithmetic) and
+grow ~1.5x backward from recomputation — the classic traffic-for-compute
+trade.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import (AccessPattern, Component, DType, Kernel, OpClass,
+                            Phase, Region)
+from repro.ops.gemm import attention_output_gemms, attention_score_gemms
+
+#: Softmax/scale/mask arithmetic per score element inside the fused kernel.
+SOFTMAX_FLOPS_PER_SCORE = 14.0
+
+
+def fused_attention_forward_kernel(*, seq_len: int, d_head: int,
+                                   batch_heads: int, dtype: DType,
+                                   layer_index: int | None = None
+                                   ) -> Kernel:
+    """The single fused forward kernel replacing score-GEMM through
+    context-GEMM."""
+    score = attention_score_gemms(seq_len, d_head, batch_heads)["fwd"]
+    context = attention_output_gemms(seq_len, d_head, batch_heads)["fwd"]
+    score_elements = batch_heads * seq_len * seq_len
+    qkv_elements = 3 * batch_heads * seq_len * d_head
+    out_elements = batch_heads * seq_len * d_head
+    stats_elements = 2 * batch_heads * seq_len
+
+    return Kernel(
+        name="fused_attention.fwd",
+        op_class=OpClass.BATCHED_GEMM,
+        phase=Phase.FORWARD,
+        component=Component.TRANSFORMER,
+        region=Region.ATTENTION_BGEMM,
+        flops=(score.flops + context.flops
+               + int(SOFTMAX_FLOPS_PER_SCORE * score_elements)),
+        bytes_read=(qkv_elements * dtype.bytes
+                    + seq_len * seq_len * dtype.bytes),  # broadcast mask
+        bytes_written=(out_elements + stats_elements) * dtype.bytes,
+        dtype=dtype,
+        access=AccessPattern.STREAMING,
+        layer_index=layer_index,
+        gemm=score,
+        n_elements=out_elements,
+    )
+
+
+def fused_attention_backward_kernel(*, seq_len: int, d_head: int,
+                                    batch_heads: int, dtype: DType,
+                                    layer_index: int | None = None
+                                    ) -> Kernel:
+    """The fused backward kernel: recompute scores, produce dQ/dK/dV."""
+    score = attention_score_gemms(seq_len, d_head, batch_heads)["fwd"]
+    context = attention_output_gemms(seq_len, d_head, batch_heads)["fwd"]
+    score_elements = batch_heads * seq_len * seq_len
+    qkv_elements = 3 * batch_heads * seq_len * d_head
+    out_elements = batch_heads * seq_len * d_head
+    stats_elements = 2 * batch_heads * seq_len
+
+    # 5 tile-GEMMs total (recomputed scores + the four gradient products)
+    # vs 2 forward, plus the softmax recompute/derivative arithmetic.
+    flops = (5 * score.flops // 2 + 5 * context.flops // 2
+             + int(2 * SOFTMAX_FLOPS_PER_SCORE * score_elements))
+    return Kernel(
+        name="fused_attention.bwd",
+        op_class=OpClass.BATCHED_GEMM,
+        phase=Phase.BACKWARD,
+        component=Component.TRANSFORMER,
+        region=Region.ATTENTION_BGEMM,
+        flops=flops,
+        bytes_read=(qkv_elements            # Q, K, V
+                    + 2 * out_elements      # output + upstream grad
+                    + stats_elements) * dtype.bytes
+                   + seq_len * seq_len * dtype.bytes,  # broadcast mask
+        bytes_written=qkv_elements * dtype.bytes,  # dQ, dK, dV
+        dtype=dtype,
+        access=AccessPattern.STREAMING,
+        layer_index=layer_index,
+        gemm=score,
+        n_elements=qkv_elements,
+    )
+
+
+def fused_attention_kernels(*, seq_len: int, d_head: int, batch_heads: int,
+                            dtype: DType,
+                            layer_index: int | None = None) -> list[Kernel]:
+    """Both fused kernels of one layer's attention block."""
+    return [
+        fused_attention_forward_kernel(
+            seq_len=seq_len, d_head=d_head, batch_heads=batch_heads,
+            dtype=dtype, layer_index=layer_index),
+        fused_attention_backward_kernel(
+            seq_len=seq_len, d_head=d_head, batch_heads=batch_heads,
+            dtype=dtype, layer_index=layer_index),
+    ]

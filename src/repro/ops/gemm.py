@@ -1,0 +1,149 @@
+"""GEMM shape records and cost math.
+
+The paper represents a matrix as ``MxN``, a GEMM as ``MxNxK`` (output
+``M x N``, contraction over ``K``) and annotates each with transpose flags
+and an optional batch count (Fig. 6's labels are
+``transposeA, transposeB, M, N, K, [batch]``).  :class:`GemmShape` mirrors
+that representation exactly, and supplies the FLOP and byte counts every
+other subsystem consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ops.base import DType
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """An ``M x N x K`` (batched) GEMM.
+
+    ``C[M, N] (+)= A[M, K] @ B[K, N]``, repeated ``batch`` times for batched
+    GEMMs.  Transpose flags describe the *storage* layout of A and B, which
+    matters for achieved bandwidth on real devices but not for FLOP/byte
+    totals.
+
+    Attributes:
+        m, n, k: GEMM dimensions.
+        batch: number of independent GEMMs launched as one batched kernel.
+        transpose_a, transpose_b: whether A / B are stored transposed.
+        accumulate: whether C is read-modify-written (``beta != 0``), as in
+            gradient accumulation into weight gradients.
+    """
+
+    m: int
+    n: int
+    k: int
+    batch: int = 1
+    transpose_a: bool = False
+    transpose_b: bool = False
+    accumulate: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k, self.batch) <= 0:
+            raise ValueError(f"GEMM dims must be positive, got {self}")
+
+    # ------------------------------------------------------------------ cost
+    @property
+    def flops(self) -> int:
+        """Multiply-add FLOPs (2 per MAC) across the whole batch."""
+        return 2 * self.m * self.n * self.k * self.batch
+
+    def elements(self) -> int:
+        """Total elements touched: A + B + C, across the batch."""
+        per = self.m * self.k + self.k * self.n + self.m * self.n
+        return per * self.batch
+
+    def bytes_read(self, dtype: DType) -> int:
+        """Bytes read: both operands, plus C when accumulating."""
+        per = self.m * self.k + self.k * self.n
+        if self.accumulate:
+            per += self.m * self.n
+        return per * self.batch * dtype.bytes
+
+    def bytes_written(self, dtype: DType) -> int:
+        """Bytes written: the output matrix C."""
+        return self.m * self.n * self.batch * dtype.bytes
+
+    def bytes_total(self, dtype: DType) -> int:
+        """Total minimum memory traffic (each operand streamed once)."""
+        return self.bytes_read(dtype) + self.bytes_written(dtype)
+
+    def arithmetic_intensity(self, dtype: DType) -> float:
+        """Ops per byte at minimum traffic (the paper's Fig. 6 metric)."""
+        return self.flops / self.bytes_total(dtype)
+
+    # ----------------------------------------------------------------- labels
+    @property
+    def label(self) -> str:
+        """Fig. 6-style label: ``tA, tB, M, N, K[, batch]``."""
+        flags = f"{'T' if self.transpose_a else 'N'}{'T' if self.transpose_b else 'N'}"
+        core = f"{flags},{self.m},{self.n},{self.k}"
+        return f"{core},[{self.batch}]" if self.batch > 1 else core
+
+    def transposed(self) -> "GemmShape":
+        """Shape of the mathematically transposed product (C^T = B^T A^T)."""
+        return GemmShape(m=self.n, n=self.m, k=self.k, batch=self.batch,
+                         transpose_a=not self.transpose_b,
+                         transpose_b=not self.transpose_a,
+                         accumulate=self.accumulate)
+
+
+def linear_layer_gemms(d_in: int, d_out: int, tokens: int) -> dict[str, GemmShape]:
+    """The three GEMMs of one linear (dense) layer under training.
+
+    Following Table 2b's convention (output-stationary ``M x N x K`` with the
+    token count ``n*B`` appearing as the N dimension in FWD):
+
+    * forward:            ``d_out x tokens x d_in``
+    * backward activation: ``d_in x tokens x d_out``
+    * backward weight:     ``d_in x d_out x tokens`` (accumulated)
+
+    Args:
+        d_in: input feature dimension (GEMM ``K`` in FWD).
+        d_out: output feature dimension (GEMM ``M`` in FWD).
+        tokens: total token count ``n * B``.
+
+    Returns:
+        Mapping with keys ``"fwd"``, ``"bwd_act"``, ``"bwd_wt"``.
+    """
+    return {
+        "fwd": GemmShape(m=d_out, n=tokens, k=d_in),
+        "bwd_act": GemmShape(m=d_in, n=tokens, k=d_out, transpose_a=True),
+        "bwd_wt": GemmShape(m=d_in, n=d_out, k=tokens, transpose_b=True,
+                            accumulate=True),
+    }
+
+
+def attention_score_gemms(seq_len: int, d_head: int,
+                          batch_heads: int) -> dict[str, GemmShape]:
+    """Batched GEMMs of the attention-score computation (Q @ K^T).
+
+    Table 2b row "Attn. Score": forward is ``n x n x d_model/h`` with batch
+    ``B*h``; the two backward products exchange the roles of the operands.
+    """
+    return {
+        "fwd": GemmShape(m=seq_len, n=seq_len, k=d_head, batch=batch_heads,
+                         transpose_b=True),
+        "bwd_act": GemmShape(m=seq_len, n=d_head, k=seq_len,
+                             batch=batch_heads),
+        "bwd_wt": GemmShape(m=d_head, n=seq_len, k=seq_len,
+                            batch=batch_heads, transpose_a=True),
+    }
+
+
+def attention_output_gemms(seq_len: int, d_head: int,
+                           batch_heads: int) -> dict[str, GemmShape]:
+    """Batched GEMMs of the attention-context computation (scores @ V).
+
+    Table 2b row "Attn. O/p": forward is ``d_model/h x n x n`` with batch
+    ``B*h``.
+    """
+    return {
+        "fwd": GemmShape(m=d_head, n=seq_len, k=seq_len, batch=batch_heads),
+        "bwd_act": GemmShape(m=d_head, n=seq_len, k=seq_len,
+                             batch=batch_heads, transpose_b=True),
+        "bwd_wt": GemmShape(m=seq_len, n=seq_len, k=d_head,
+                            batch=batch_heads, transpose_a=True),
+    }

@@ -1,0 +1,96 @@
+"""Arithmetic-intensity analysis helpers (Sec. 2.6, Figs. 6 and 7).
+
+The paper gauges whether an operation benefits from more compute or more
+memory bandwidth by its ops/byte ratio relative to the *machine balance*
+(peak FLOP/s divided by peak bytes/s).  These helpers compute both sides and
+classify kernels, independent of any timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.ops.base import Kernel
+
+
+class Boundedness(Enum):
+    """Roofline classification of a kernel on a given device."""
+
+    COMPUTE_BOUND = "compute-bound"
+    MEMORY_BOUND = "memory-bound"
+
+
+@dataclass(frozen=True)
+class IntensityRecord:
+    """Arithmetic-intensity summary of one kernel or kernel group.
+
+    Attributes:
+        label: display label (GEMM shape string or region name).
+        flops: total FLOPs.
+        bytes_total: total memory traffic.
+        intensity: ops per byte.
+    """
+
+    label: str
+    flops: int
+    bytes_total: int
+
+    @property
+    def intensity(self) -> float:
+        return self.flops / self.bytes_total if self.bytes_total else 0.0
+
+    def boundedness(self, machine_balance: float) -> Boundedness:
+        """Classify against a device's ops/byte machine balance."""
+        if self.intensity >= machine_balance:
+            return Boundedness.COMPUTE_BOUND
+        return Boundedness.MEMORY_BOUND
+
+
+def kernel_intensity(kernel: Kernel) -> IntensityRecord:
+    """Intensity record of a single kernel."""
+    return IntensityRecord(label=kernel.name, flops=kernel.flops,
+                           bytes_total=kernel.bytes_total)
+
+
+def group_intensity(label: str, kernels: Iterable[Kernel]) -> IntensityRecord:
+    """Aggregate intensity of a kernel group (a Fig. 7 phase bar).
+
+    Grouping sums FLOPs and bytes, which matches how the paper reports the
+    intensity of multi-kernel phases like ``LAMBStage1`` or ``GeLU``.
+    """
+    flops = 0
+    total = 0
+    for kernel in kernels:
+        flops += kernel.flops
+        total += kernel.bytes_total
+    if total == 0:
+        raise ValueError(f"group {label!r} moves no bytes")
+    return IntensityRecord(label=label, flops=flops, bytes_total=total)
+
+
+def bandwidth_demand(kernels: Iterable[Kernel],
+                     time_per_kernel: Iterable[float]) -> float:
+    """Achieved bandwidth of a kernel group: total bytes / total time.
+
+    Fig. 7 normalizes each phase's achieved bandwidth to the highest achieved
+    by any BERT operation (the EW multiply); callers perform that
+    normalization.
+
+    Args:
+        kernels: the kernel group.
+        time_per_kernel: execution time in seconds for each kernel, in the
+            same order.
+
+    Returns:
+        Bytes per second.
+    """
+    total_bytes = 0
+    total_time = 0.0
+    for kernel, seconds in zip(kernels, time_per_kernel, strict=True):
+        total_bytes += kernel.bytes_total
+        total_time += seconds
+    if total_time <= 0:
+        raise ValueError("total time must be positive")
+    return total_bytes / total_time

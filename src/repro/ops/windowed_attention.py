@@ -1,0 +1,151 @@
+"""Windowed (block-local) attention cost model — a future-trend what-if.
+
+Takeaway 10 shows attention operations growing quadratically with sequence
+length, which is why longer-context models and attention accelerators
+(A3 [33], SpAtten [91]) restrict each query to a local window.  This module
+models block-local attention: queries in a block of size ``block`` attend
+to ``window_blocks`` neighboring key blocks, so cost is *linear* in ``n``.
+
+The kernels mirror the dense path's structure (score batched GEMM, scale/
+mask/softmax/dropout stream, context batched GEMM) with the score matrix
+shrunk from ``n x n`` to ``n x (block * window_blocks)`` per head.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ops.base import Component, DType, Kernel, Phase, Region
+from repro.ops.elementwise import (dropout_backward, dropout_forward,
+                                   elementwise)
+from repro.ops.gemm import GemmShape
+from repro.ops.reduction import softmax_kernels
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Block-local attention pattern.
+
+    Attributes:
+        block: query/key block size (rows per score tile).
+        window_blocks: key blocks each query block attends to (its own
+            plus neighbors).
+    """
+
+    block: int = 64
+    window_blocks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.block < 1 or self.window_blocks < 1:
+            raise ValueError("block and window_blocks must be positive")
+
+    @property
+    def keys_per_query(self) -> int:
+        """Keys each query position scores against (unclamped)."""
+        return self.block * self.window_blocks
+
+    def effective_window_blocks(self, seq_len: int) -> int:
+        """Window blocks actually used: a window wider than the sequence
+        degrades to dense attention."""
+        return min(self.window_blocks, math.ceil(seq_len / self.block))
+
+    def effective_keys(self, seq_len: int) -> int:
+        """Keys per query after clamping to the sequence length."""
+        return min(self.keys_per_query, seq_len)
+
+    def score_elements(self, seq_len: int, batch_heads: int) -> int:
+        """Elements of the (banded) score tensor."""
+        blocks = math.ceil(seq_len / self.block)
+        return (batch_heads * blocks * self.block
+                * self.effective_keys(seq_len))
+
+
+def windowed_score_gemm(seq_len: int, d_head: int, batch_heads: int,
+                        window: WindowConfig) -> GemmShape:
+    """The banded Q@K^T as a batched GEMM of block tiles.
+
+    One ``block x block x d_head`` GEMM per (query block, key block) pair;
+    the batch count makes total FLOPs ``2 * B*h * n * keys_per_query *
+    d_head`` — linear in ``n``.
+    """
+    blocks = math.ceil(seq_len / window.block)
+    pairs = blocks * window.effective_window_blocks(seq_len)
+    return GemmShape(m=window.block, n=window.block, k=d_head,
+                     batch=batch_heads * pairs, transpose_b=True)
+
+
+def windowed_context_gemm(seq_len: int, d_head: int, batch_heads: int,
+                          window: WindowConfig) -> GemmShape:
+    """The banded scores@V as a batched GEMM of block tiles."""
+    blocks = math.ceil(seq_len / window.block)
+    pairs = blocks * window.effective_window_blocks(seq_len)
+    return GemmShape(m=window.block, n=d_head, k=window.block,
+                     batch=batch_heads * pairs)
+
+
+def windowed_attention_op_kernels(*, seq_len: int, d_head: int,
+                                  batch_heads: int, window: WindowConfig,
+                                  dtype: DType,
+                                  layer_index: int | None = None
+                                  ) -> list[Kernel]:
+    """The attention-operation kernels (B-GEMMs + SM/DR stream) of one
+    layer under block-local attention, forward and backward.
+
+    Linear projections and everything outside the score computation are
+    unchanged by windowing and are not emitted here.
+    """
+    score = windowed_score_gemm(seq_len, d_head, batch_heads, window)
+    context = windowed_context_gemm(seq_len, d_head, batch_heads, window)
+    elements = window.score_elements(seq_len, batch_heads)
+    rows = batch_heads * seq_len
+
+    def gemm(name: str, shape: GemmShape, phase: Phase) -> Kernel:
+        from repro.ops.base import AccessPattern, OpClass
+        return Kernel(name=name, op_class=OpClass.BATCHED_GEMM, phase=phase,
+                      component=Component.TRANSFORMER,
+                      region=Region.ATTENTION_BGEMM, flops=shape.flops,
+                      bytes_read=shape.bytes_read(dtype),
+                      bytes_written=shape.bytes_written(dtype), dtype=dtype,
+                      access=AccessPattern.STREAMING,
+                      layer_index=layer_index, gemm=shape,
+                      n_elements=shape.m * shape.n * shape.batch)
+
+    kernels = [gemm("windowed.score.fwd", score, Phase.FORWARD)]
+    for name, phase in (("scale", Phase.FORWARD),):
+        kernels.append(elementwise(
+            f"windowed.{name}.fwd", n_elements=elements, dtype=dtype,
+            phase=phase, component=Component.TRANSFORMER,
+            region=Region.ATTENTION_SMDSM, flops_per_element=1.0,
+            layer_index=layer_index))
+    kernels.extend(softmax_kernels(
+        rows=rows, row_len=window.effective_keys(seq_len), dtype=dtype,
+        phase=Phase.FORWARD, layer_index=layer_index,
+        name_prefix="windowed.softmax"))
+    kernels.extend(dropout_forward(
+        "windowed.dropout", n_elements=elements, dtype=dtype,
+        component=Component.TRANSFORMER, region=Region.ATTENTION_SMDSM,
+        layer_index=layer_index))
+    kernels.append(gemm("windowed.context.fwd", context, Phase.FORWARD))
+
+    # Backward: two grads per batched GEMM plus the SM/DR stream.
+    kernels.append(gemm("windowed.context.bwd_act", context, Phase.BACKWARD))
+    kernels.append(gemm("windowed.context.bwd_wt",
+                        context.transposed(), Phase.BACKWARD))
+    kernels.extend(dropout_backward(
+        "windowed.dropout", n_elements=elements, dtype=dtype,
+        component=Component.TRANSFORMER, region=Region.ATTENTION_SMDSM,
+        layer_index=layer_index))
+    kernels.extend(softmax_kernels(
+        rows=rows, row_len=window.effective_keys(seq_len), dtype=dtype,
+        phase=Phase.BACKWARD, layer_index=layer_index,
+        name_prefix="windowed.softmax"))
+    kernels.append(elementwise(
+        "windowed.scale.bwd", n_elements=elements, dtype=dtype,
+        phase=Phase.BACKWARD, component=Component.TRANSFORMER,
+        region=Region.ATTENTION_SMDSM, flops_per_element=1.0,
+        layer_index=layer_index))
+    kernels.append(gemm("windowed.score.bwd_act", score, Phase.BACKWARD))
+    kernels.append(gemm("windowed.score.bwd_wt",
+                        score.transposed(), Phase.BACKWARD))
+    return kernels

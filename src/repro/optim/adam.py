@@ -1,0 +1,64 @@
+"""Adam and AdamW optimizers (the Fig. 12 fusion-study subject)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.tensor.module import Parameter
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional decoupled weight decay.
+
+    Args:
+        parameters: model parameters.
+        lr: learning rate.
+        betas: moment decay rates.
+        eps: denominator stabilizer.
+        weight_decay: decoupled (AdamW-style) decay coefficient.
+    """
+
+    def __init__(self, parameters, lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _update(self, param: Parameter, grad: np.ndarray,
+                state: dict[str, np.ndarray]) -> None:
+        beta1, beta2 = self.betas
+        if "m" not in state:
+            state["m"] = np.zeros_like(param.data, dtype=np.float32)
+            state["v"] = np.zeros_like(param.data, dtype=np.float32)
+        m, v = state["m"], state["v"]
+        m += (1.0 - beta1) * (grad - m)
+        v += (1.0 - beta2) * (grad * grad - v)
+        m_hat = m / (1.0 - beta1 ** self.step_count)
+        v_hat = v / (1.0 - beta2 ** self.step_count)
+        if self.weight_decay:
+            param.data -= self.lr * self.weight_decay * param.data
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Sgd(Optimizer):
+    """SGD with classical momentum (baseline optimizer)."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.9):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+
+    def _update(self, param: Parameter, grad: np.ndarray,
+                state: dict[str, np.ndarray]) -> None:
+        if "velocity" not in state:
+            state["velocity"] = np.zeros_like(param.data, dtype=np.float32)
+        velocity = state["velocity"]
+        velocity *= self.momentum
+        velocity += grad
+        param.data -= self.lr * velocity

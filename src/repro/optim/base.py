@@ -1,0 +1,55 @@
+"""Optimizer base class over the autograd parameter system."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and per-parameter state.
+
+    Subclasses implement :meth:`_update` for a single parameter given its
+    gradient and state dict.
+    """
+
+    def __init__(self, parameters, lr: float):
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.step_count = 0
+        self._state: list[dict[str, np.ndarray]] = [
+            {} for _ in self.parameters]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def global_grad_norm(self) -> float:
+        """L2 norm across all gradients.
+
+        For LAMB this reduction must complete before any parameter update
+        can start, serializing the update phase against the whole backprop
+        (Sec. 3.2.3).
+        """
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float((param.grad.astype(np.float64) ** 2).sum())
+        return float(np.sqrt(total))
+
+    def step(self) -> None:
+        """Apply one update to every parameter with a gradient."""
+        self.step_count += 1
+        for param, state in zip(self.parameters, self._state):
+            if param.grad is None:
+                continue
+            self._update(param, param.grad, state)
+
+    def _update(self, param: Parameter, grad: np.ndarray,
+                state: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError

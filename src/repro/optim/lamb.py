@@ -1,0 +1,88 @@
+"""The LAMB optimizer (You et al. [95], Algorithm 2).
+
+Layer-wise Adaptive Moments for Batch training: Adam-style moment updates
+followed by a per-parameter *trust ratio* that rescales the step by
+``||p|| / ||update||``, enabling very large batch sizes.  Implemented in
+the same two-stage structure the paper profiles (Sec. 3.2.3): stage 1
+computes moments and the update direction, stage 2 applies the trust-scaled
+step — and with an optional global gradient-norm clip whose all-gradient
+reduction is the serialization point Takeaway 7 discusses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.tensor.module import Parameter
+
+
+class Lamb(Optimizer):
+    """LAMB with bias correction, weight decay and trust-ratio clamping.
+
+    Args:
+        parameters: model parameters.
+        lr: base learning rate.
+        betas: moment decay rates ``(beta1, beta2)``.
+        eps: denominator stabilizer.
+        weight_decay: decoupled L2 coefficient added to the update.
+        clip_global_norm: if set, rescale all gradients so their global L2
+            norm is at most this value before any update.
+        trust_clip: upper clamp on the trust ratio.
+    """
+
+    def __init__(self, parameters, lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-6, weight_decay: float = 0.01,
+                 clip_global_norm: float | None = 1.0,
+                 trust_clip: float = 10.0):
+        super().__init__(parameters, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.clip_global_norm = clip_global_norm
+        self.trust_clip = trust_clip
+        self._grad_scale = 1.0
+
+    def step(self) -> None:
+        # The global-norm reduction runs across *all* layers' gradients
+        # before the first parameter can be touched (Sec. 3.2.3).
+        if self.clip_global_norm is not None:
+            norm = self.global_grad_norm()
+            self._grad_scale = (self.clip_global_norm / norm
+                                if norm > self.clip_global_norm else 1.0)
+        super().step()
+
+    def _stage1(self, param: Parameter, grad: np.ndarray,
+                state: dict[str, np.ndarray]) -> tuple[np.ndarray, float]:
+        """Moment update and update direction; returns (update, trust)."""
+        beta1, beta2 = self.betas
+        grad = grad * self._grad_scale
+        if "m" not in state:
+            state["m"] = np.zeros_like(param.data, dtype=np.float32)
+            state["v"] = np.zeros_like(param.data, dtype=np.float32)
+        m, v = state["m"], state["v"]
+        m += (1.0 - beta1) * (grad - m)
+        v += (1.0 - beta2) * (grad * grad - v)
+
+        m_hat = m / (1.0 - beta1 ** self.step_count)
+        v_hat = v / (1.0 - beta2 ** self.step_count)
+        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.weight_decay:
+            update = update + self.weight_decay * param.data
+
+        param_norm = float(np.linalg.norm(param.data))
+        update_norm = float(np.linalg.norm(update))
+        if param_norm > 0.0 and update_norm > 0.0:
+            trust = min(param_norm / update_norm, self.trust_clip)
+        else:
+            trust = 1.0
+        return update, trust
+
+    def _update(self, param: Parameter, grad: np.ndarray,
+                state: dict[str, np.ndarray]) -> None:
+        update, trust = self._stage1(param, grad, state)
+        # Stage 2: trust-scaled weight update.
+        param.data -= (self.lr * trust) * update

@@ -1,0 +1,21 @@
+"""Simulated kernel profiler and breakdown aggregation."""
+
+from repro.profiler.breakdown import (REGION_ORDER, BreakdownEntry,
+                                      component_breakdown, gemm_fraction,
+                                      memory_bound_fraction,
+                                      optimizer_fraction, region_breakdown,
+                                      summarize, transformer_breakdown)
+from repro.profiler.export import to_csv, to_json, write_csv, write_json
+from repro.profiler.profiler import KernelProfile, Profile, profile_trace
+from repro.profiler.wallclock import (WallclockPhase, WallclockProfile,
+                                      profile_step, profile_steps,
+                                      summarize_wallclock)
+
+__all__ = [
+    "BreakdownEntry", "KernelProfile", "Profile", "REGION_ORDER",
+    "component_breakdown", "gemm_fraction", "memory_bound_fraction",
+    "optimizer_fraction", "profile_trace", "region_breakdown", "summarize",
+    "to_csv", "to_json", "transformer_breakdown", "write_csv",
+    "write_json", "WallclockPhase", "WallclockProfile", "profile_step",
+    "profile_steps", "summarize_wallclock",
+]

@@ -1,0 +1,134 @@
+"""Hierarchical runtime breakdowns — the paper's stacked bars.
+
+Three aggregation levels mirror Figs. 3 and 4:
+
+* :func:`component_breakdown` — Fig. 3: Transformer vs. output vs. embedding
+  vs. optimizer (FWD+BWD of a layer counted together, updates separate).
+* :func:`transformer_breakdown` — Fig. 4 second bar: attention vs. FC vs.
+  DR+RC+LN inside the Transformer layers.
+* :func:`region_breakdown` — Fig. 4 third/fourth bars and the Fig. 8/9
+  sweeps: linear GEMMs, attention BGEMMs, scale+mask+dropout+softmax,
+  FC GEMMs, GeLU, DR+RC+LN — each as a fraction of *overall* iteration
+  time, matching the paper's labeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ops.base import Component, Region
+from repro.profiler.profiler import Profile
+
+
+@dataclass(frozen=True)
+class BreakdownEntry:
+    """One slice of a stacked bar.
+
+    Attributes:
+        label: slice label.
+        time_s: absolute time.
+        fraction: share of the reference total (usually the iteration).
+    """
+
+    label: str
+    time_s: float
+    fraction: float
+
+
+def _entries(named_times: list[tuple[str, float]],
+             reference_total: float) -> list[BreakdownEntry]:
+    if reference_total <= 0:
+        raise ValueError("reference total must be positive")
+    return [BreakdownEntry(label=name, time_s=t,
+                           fraction=t / reference_total)
+            for name, t in named_times]
+
+
+def component_breakdown(profile: Profile) -> list[BreakdownEntry]:
+    """Fig. 3: iteration time by top-level component."""
+    total = profile.total_time
+    named = [(component.value,
+              profile.time_of(component=component))
+             for component in (Component.TRANSFORMER, Component.OUTPUT,
+                               Component.EMBEDDING, Component.OPTIMIZER,
+                               Component.COMMUNICATION)]
+    named = [(name, t) for name, t in named if t > 0]
+    return _entries(named, total)
+
+
+def transformer_breakdown(profile: Profile) -> list[BreakdownEntry]:
+    """Fig. 4 "Transformer" bar: attention / FC / DR+RC+LN slices.
+
+    Fractions are of the whole iteration (the paper's labels show
+    contribution to overall training time).
+    """
+    total = profile.total_time
+    named = [
+        ("attention", profile.time_where(
+            lambda k: k.component is Component.TRANSFORMER
+            and k.region.is_attention)),
+        ("fc", profile.time_where(
+            lambda k: k.component is Component.TRANSFORMER
+            and k.region.is_fc)),
+        ("dr_rc_ln", profile.time_where(
+            lambda k: k.component is Component.TRANSFORMER
+            and k.region is Region.DR_RC_LN)),
+    ]
+    return _entries(named, total)
+
+
+#: Region display order of the Fig. 4/8/9 bars.
+REGION_ORDER = (
+    Region.ATTENTION_LINEAR,
+    Region.ATTENTION_BGEMM,
+    Region.ATTENTION_SMDSM,
+    Region.FC_GEMM,
+    Region.FC_GELU,
+    Region.DR_RC_LN,
+)
+
+
+def region_breakdown(profile: Profile) -> dict[Region, BreakdownEntry]:
+    """Fine-grained Transformer-region shares of overall iteration time."""
+    total = profile.total_time
+    result = {}
+    for region in REGION_ORDER:
+        time_s = profile.time_of(component=Component.TRANSFORMER,
+                                 region=region)
+        result[region] = BreakdownEntry(label=region.value, time_s=time_s,
+                                        fraction=time_s / total)
+    return result
+
+
+def gemm_fraction(profile: Profile) -> float:
+    """Share of iteration time in (batched) GEMM kernels (Sec. 3.2.2)."""
+    total = profile.total_time
+    return profile.gemm_time() / total if total else 0.0
+
+
+def optimizer_fraction(profile: Profile) -> float:
+    """Share of iteration time in the optimizer update (Takeaways 1/2)."""
+    return profile.fraction_where(
+        lambda k: k.component is Component.OPTIMIZER)
+
+
+def memory_bound_fraction(profile: Profile) -> float:
+    """Share of iteration time in non-GEMM (memory-bound) kernels
+    (Takeaways 8/9)."""
+    return profile.fraction_where(lambda k: not k.op_class.is_gemm)
+
+
+def summarize(profile: Profile) -> dict[str, float]:
+    """Headline fractions used across experiments and tests."""
+    return {
+        "total_time_s": profile.total_time,
+        "transformer": profile.fraction_where(
+            lambda k: k.component is Component.TRANSFORMER),
+        "output": profile.fraction_where(
+            lambda k: k.component is Component.OUTPUT),
+        "embedding": profile.fraction_where(
+            lambda k: k.component is Component.EMBEDDING),
+        "optimizer": optimizer_fraction(profile),
+        "gemm": gemm_fraction(profile),
+        "non_gemm": memory_bound_fraction(profile),
+    }

@@ -1,0 +1,79 @@
+"""Profile export: rocProf-style CSV and structured JSON.
+
+The paper's raw material is a profiler kernel table (Sec. 3.1.4).  These
+exporters write our simulated equivalent so results can be inspected with
+the same spreadsheet/pandas workflows people use on real rocprof output,
+or re-loaded programmatically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.profiler.profiler import Profile
+
+#: Column order of the CSV export (a superset of rocprof's essentials).
+CSV_COLUMNS = ("index", "kernel_name", "op_class", "phase", "component",
+               "region", "layer", "duration_us", "flops", "bytes_read",
+               "bytes_written", "arithmetic_intensity",
+               "achieved_gbps", "dtype", "gemm_shape")
+
+
+def _rows(profile: Profile):
+    for index, record in enumerate(profile.records):
+        kernel = record.kernel
+        yield {
+            "index": index,
+            "kernel_name": kernel.name,
+            "op_class": kernel.op_class.value,
+            "phase": kernel.phase.value,
+            "component": kernel.component.value,
+            "region": kernel.region.value,
+            "layer": "" if kernel.layer_index is None else kernel.layer_index,
+            "duration_us": round(record.time_s * 1e6, 3),
+            "flops": kernel.flops,
+            "bytes_read": kernel.bytes_read,
+            "bytes_written": kernel.bytes_written,
+            "arithmetic_intensity": round(kernel.arithmetic_intensity, 4),
+            "achieved_gbps": round(record.achieved_bandwidth / 1e9, 2),
+            "dtype": kernel.dtype.label,
+            "gemm_shape": kernel.gemm.label if kernel.gemm else "",
+        }
+
+
+def to_csv(profile: Profile) -> str:
+    """Render the profile as a rocprof-like CSV string."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    for row in _rows(profile):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(profile: Profile, path: str) -> None:
+    """Write the CSV export to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(profile))
+
+
+def to_json(profile: Profile) -> str:
+    """Render the profile as JSON: device header + kernel rows."""
+    payload = {
+        "device": {
+            "name": profile.device.name,
+            "mem_bandwidth_gbps": profile.device.mem_bandwidth_gbps,
+            "compute_units": profile.device.compute_units,
+        },
+        "total_time_s": profile.total_time,
+        "kernels": list(_rows(profile)),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def write_json(profile: Profile, path: str) -> None:
+    """Write the JSON export to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_json(profile))

@@ -1,0 +1,107 @@
+"""Simulated kernel profiler.
+
+Plays a :class:`~repro.trace.builder.Trace` through a
+:class:`~repro.hw.device.DeviceModel` and produces a per-kernel profile —
+the rocProf-equivalent table (time, FLOPs, bytes, achieved bandwidth) that
+every breakdown and figure in :mod:`repro.experiments` is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.hw.device import DeviceModel
+from repro.hw.timing import kernel_time
+from repro.ops.base import Component, Kernel, OpClass, Phase, Region
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One kernel's profiled execution.
+
+    Attributes:
+        kernel: the kernel record.
+        time_s: modeled execution time in seconds.
+    """
+
+    kernel: Kernel
+    time_s: float
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        """Bytes per second actually sustained."""
+        return self.kernel.bytes_total / self.time_s if self.time_s else 0.0
+
+    @property
+    def achieved_flops(self) -> float:
+        """FLOP/s actually sustained."""
+        return self.kernel.flops / self.time_s if self.time_s else 0.0
+
+
+@dataclass
+class Profile:
+    """Profiled execution of a whole iteration trace.
+
+    Attributes:
+        device: device the trace was timed on.
+        records: per-kernel profiles, in launch order.
+    """
+
+    device: DeviceModel
+    records: list[KernelProfile]
+
+    def __iter__(self) -> Iterator[KernelProfile]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_time(self) -> float:
+        """Serialized iteration time in seconds."""
+        return sum(r.time_s for r in self.records)
+
+    # ------------------------------------------------------------- selection
+    def time_where(self, predicate: Callable[[Kernel], bool]) -> float:
+        """Total time of kernels matching ``predicate``."""
+        return sum(r.time_s for r in self.records if predicate(r.kernel))
+
+    def time_of(self, *, phase: Phase | None = None,
+                component: Component | None = None,
+                region: Region | None = None,
+                op_class: OpClass | None = None) -> float:
+        """Total time of kernels matching the given attribute filters."""
+        def match(kernel: Kernel) -> bool:
+            if phase is not None and kernel.phase is not phase:
+                return False
+            if component is not None and kernel.component is not component:
+                return False
+            if region is not None and kernel.region is not region:
+                return False
+            if op_class is not None and kernel.op_class is not op_class:
+                return False
+            return True
+        return self.time_where(match)
+
+    def fraction_where(self, predicate: Callable[[Kernel], bool]) -> float:
+        """Fraction of total time in kernels matching ``predicate``."""
+        total = self.total_time
+        return self.time_where(predicate) / total if total else 0.0
+
+    def gemm_time(self) -> float:
+        """Time in (batched) GEMM kernels."""
+        return self.time_where(lambda k: k.op_class.is_gemm)
+
+    def records_where(self, predicate: Callable[[Kernel], bool]
+                      ) -> list[KernelProfile]:
+        """Profiled records matching ``predicate``."""
+        return [r for r in self.records if predicate(r.kernel)]
+
+
+def profile_trace(trace_kernels: Iterable[Kernel],
+                  device: DeviceModel) -> Profile:
+    """Time every kernel of a trace on ``device``."""
+    records = [KernelProfile(kernel=k, time_s=kernel_time(k, device))
+               for k in trace_kernels]
+    return Profile(device=device, records=records)

@@ -1,0 +1,146 @@
+"""Wall-clock profiler for the executable NumPy model.
+
+The simulated profiler prices a kernel trace on a device model; this one
+measures the *actual* NumPy execution of the real model — forward,
+backward and optimizer phases — so the executable substrate can be
+characterized the same way the paper characterizes the GPU run.  The op
+recorder supplies per-phase matmul counts, giving a NumPy-GEMM share to
+set against the paper's GEMM-share story (NumPy's eager elementwise ops
+are far slower relative to BLAS matmuls than a GPU's, which is itself a
+usable observation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batching import PreTrainingBatch
+from repro.model.bert import BertForPreTraining
+from repro.optim.base import Optimizer
+from repro.tensor import recording
+
+
+@dataclass(frozen=True)
+class WallclockPhase:
+    """One measured phase of a real training step.
+
+    Attributes:
+        name: ``"forward"`` / ``"backward"`` / ``"optimizer"``.
+        seconds: wall-clock duration.
+        matmuls: matmul ops the recorder observed during the phase.
+        matmul_flops: their total FLOPs.
+    """
+
+    name: str
+    seconds: float
+    matmuls: int
+    matmul_flops: int
+
+
+@dataclass(frozen=True)
+class WallclockProfile:
+    """Measured breakdown of one executable training step.
+
+    Attributes:
+        phases: the three phases, in execution order.
+        loss: the step's loss value.
+    """
+
+    phases: tuple[WallclockPhase, ...]
+    loss: float
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases)
+
+    def fraction(self, name: str) -> float:
+        total = self.total_seconds
+        phase = next((p for p in self.phases if p.name == name), None)
+        if phase is None:
+            raise KeyError(f"unknown phase {name!r}")
+        return phase.seconds / total if total else 0.0
+
+    @property
+    def backward_to_forward(self) -> float:
+        """Measured BWD/FWD time ratio (the paper's ~2x rule of thumb)."""
+        fwd = next(p for p in self.phases if p.name == "forward")
+        bwd = next(p for p in self.phases if p.name == "backward")
+        return bwd.seconds / fwd.seconds if fwd.seconds else 0.0
+
+
+def _matmul_stats(ops) -> tuple[int, int]:
+    matmuls = recording.matmuls(ops)
+    flops = 0
+    for record in matmuls:
+        m, n, k, batch = record.matmul_mnk()
+        flops += 2 * m * n * k * batch
+    return len(matmuls), flops
+
+
+def profile_step(model: BertForPreTraining, optimizer: Optimizer,
+                 batch: PreTrainingBatch) -> WallclockProfile:
+    """Measure one real forward/backward/update step phase by phase."""
+    optimizer.zero_grad()
+
+    with recording.capture() as forward_ops:
+        start = time.perf_counter()
+        loss = model.loss(batch.token_ids, batch.mlm_labels,
+                          batch.nsp_labels,
+                          segment_ids=batch.segment_ids,
+                          padding_mask=batch.padding_mask)
+        forward_s = time.perf_counter() - start
+
+    # The backward closures call np.matmul directly (not Tensor.matmul),
+    # so the recorder sees nothing; count is reported as 0 by design.
+    with recording.capture() as backward_ops:
+        start = time.perf_counter()
+        loss.backward()
+        backward_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    optimizer.step()
+    optimizer_s = time.perf_counter() - start
+
+    fwd_count, fwd_flops = _matmul_stats(forward_ops)
+    bwd_count, bwd_flops = _matmul_stats(backward_ops)
+    return WallclockProfile(
+        phases=(
+            WallclockPhase("forward", forward_s, fwd_count, fwd_flops),
+            WallclockPhase("backward", backward_s, bwd_count, bwd_flops),
+            WallclockPhase("optimizer", optimizer_s, 0, 0),
+        ),
+        loss=float(loss.item()),
+    )
+
+
+def profile_steps(model: BertForPreTraining, optimizer: Optimizer,
+                  batches, warmup: int = 1) -> list[WallclockProfile]:
+    """Profile several steps, discarding ``warmup`` initial ones.
+
+    Mirrors the paper's methodology of measuring a representative
+    iteration after warm-up (Sec. 3.1.4).
+    """
+    profiles = [profile_step(model, optimizer, batch) for batch in batches]
+    if warmup >= len(profiles):
+        raise ValueError("warmup discards every measured step")
+    return profiles[warmup:]
+
+
+def summarize_wallclock(profiles: list[WallclockProfile]) -> dict[str, float]:
+    """Median per-phase seconds and fractions across profiled steps."""
+    if not profiles:
+        raise ValueError("no profiles to summarize")
+    result: dict[str, float] = {}
+    for name in ("forward", "backward", "optimizer"):
+        seconds = [next(p.seconds for p in profile.phases
+                        if p.name == name) for profile in profiles]
+        result[f"{name}_s"] = float(np.median(seconds))
+    total = sum(result[f"{n}_s"] for n in ("forward", "backward",
+                                           "optimizer"))
+    for name in ("forward", "backward", "optimizer"):
+        result[f"{name}_fraction"] = (result[f"{name}_s"] / total
+                                      if total else 0.0)
+    return result

@@ -1,0 +1,8 @@
+"""Text rendering of experiment results."""
+
+from repro.report.bars import bar_chart, horizontal_bar, stacked_bar
+from repro.report.roofline_plot import roofline_plot
+from repro.report.tables import format_percent, format_table
+
+__all__ = ["bar_chart", "format_percent", "format_table", "horizontal_bar",
+           "roofline_plot", "stacked_bar"]

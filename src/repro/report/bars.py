@@ -1,0 +1,69 @@
+"""ASCII stacked-bar rendering — terminal analogues of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Fill characters cycled across bar segments.
+_FILLS = "#@*=+~o."
+
+
+def stacked_bar(fractions: Sequence[tuple[str, float]], *,
+                width: int = 60) -> str:
+    """One horizontal stacked bar plus its legend line.
+
+    Args:
+        fractions: ``(label, fraction)`` segments; fractions should sum to
+            at most ~1 (a remainder segment is added if they fall short).
+        width: bar width in characters.
+
+    Returns:
+        Two lines: the bar and a legend mapping fills to labels/percents.
+    """
+    if width < 10:
+        raise ValueError("width too small")
+    total = sum(f for _, f in fractions)
+    if total > 1.001:
+        raise ValueError(f"fractions sum to {total:.3f} > 1")
+    segments = []
+    legend = []
+    used = 0
+    for index, (label, fraction) in enumerate(fractions):
+        fill = _FILLS[index % len(_FILLS)]
+        chars = int(round(fraction * width))
+        chars = min(chars, width - used)
+        segments.append(fill * chars)
+        used += chars
+        legend.append(f"{fill}={label} {fraction * 100:.1f}%")
+    if used < width:
+        segments.append(" " * (width - used))
+    return f"|{''.join(segments)}|\n  {'  '.join(legend)}"
+
+
+def bar_chart(rows: Sequence[tuple[str, Sequence[tuple[str, float]]]], *,
+              width: int = 60) -> str:
+    """Multiple labeled stacked bars (a Fig. 3/8/9-style chart)."""
+    blocks = []
+    label_width = max((len(label) for label, _ in rows), default=0)
+    for label, fractions in rows:
+        bar = stacked_bar(fractions, width=width)
+        blocks.append(f"{label.ljust(label_width)} {bar}")
+    return "\n".join(blocks)
+
+
+def horizontal_bar(values: Sequence[tuple[str, float]], *,
+                   width: int = 50, unit: str = "") -> str:
+    """Simple horizontal bar chart scaled to the max value (Fig. 6/7 style)."""
+    if not values:
+        raise ValueError("no values to plot")
+    peak = max(v for _, v in values)
+    if peak <= 0:
+        raise ValueError("values must contain a positive entry")
+    label_width = max(len(label) for label, _ in values)
+    lines = []
+    for label, value in values:
+        filled = int(round(value / peak * width))
+        lines.append(f"{label.ljust(label_width)} "
+                     f"{'#' * filled}{' ' * (width - filled)} "
+                     f"{value:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""ASCII roofline plot.
+
+A log-log terminal rendering of a device roofline with kernels/groups
+placed on it — the visual companion to Figs. 6/7.  Points under the slanted
+memory roof are bandwidth-limited; points on the flat compute roof are
+FLOP-limited.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.hw.device import DeviceModel
+from repro.ops.base import DType
+
+#: Marker characters cycled across plotted points.
+_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def roofline_plot(points: Sequence[tuple[str, float]],
+                  device: DeviceModel, dtype: DType = DType.FP32, *,
+                  width: int = 68, height: int = 18) -> str:
+    """Render the roofline with labeled points.
+
+    Args:
+        points: ``(label, ops_per_byte)`` entries to place on the roof.
+        device: device supplying the two roofs.
+        dtype: GEMM engine whose compute roof applies.
+        width/height: plot dimensions in characters.
+
+    Returns:
+        Multi-line string: the plot, axes, and a point legend.
+    """
+    if not points:
+        raise ValueError("nothing to plot")
+    if width < 20 or height < 6:
+        raise ValueError("plot too small")
+
+    peak = device.gemm_engine(dtype).effective_peak
+    bandwidth = device.peak_bandwidth
+    ridge = peak / bandwidth
+
+    x_min = math.log10(min(min(p for _, p in points), ridge)) - 0.5
+    x_max = math.log10(max(max(p for _, p in points), ridge)) + 0.5
+    y_max = math.log10(peak) + 0.3
+    y_min = y_max - (x_max - x_min) - 0.3  # keep slope ~45 degrees
+
+    def to_col(intensity_log: float) -> int:
+        return int((intensity_log - x_min) / (x_max - x_min) * (width - 1))
+
+    def to_row(flops_log: float) -> int:
+        frac = (flops_log - y_min) / (y_max - y_min)
+        return height - 1 - int(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # Draw the roof: attainable = min(peak, intensity * bandwidth).
+    for col in range(width):
+        intensity = 10 ** (x_min + (x_max - x_min) * col / (width - 1))
+        attainable = min(peak, intensity * bandwidth)
+        row = to_row(math.log10(attainable))
+        if 0 <= row < height:
+            grid[row][col] = "." if intensity < ridge else "_"
+
+    legend = []
+    for index, (label, intensity) in enumerate(points):
+        marker = _MARKERS[index % len(_MARKERS)]
+        attainable = min(peak, intensity * bandwidth)
+        col = min(width - 1, max(0, to_col(math.log10(intensity))))
+        row = min(height - 1, max(0, to_row(math.log10(attainable))))
+        grid[row][col] = marker
+        bound = "memory-bound" if intensity < ridge else "compute-bound"
+        legend.append(f"  {marker} {label} ({intensity:.2g} ops/B, {bound})")
+
+    lines = ["attainable FLOP/s (log)"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + "> ops/byte (log)")
+    lines.append(f"ridge point: {ridge:.1f} ops/B   compute roof: "
+                 f"{peak / 1e12:.1f} TFLOP/s   memory roof: "
+                 f"{bandwidth / 1e9:.0f} GB/s")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, float_format: str = "{:.3g}") -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: column titles.
+        rows: row cells; floats are formatted with ``float_format``,
+            everything else with ``str``.
+        float_format: format spec applied to float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header count")
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    out = [line(headers), separator]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percent string."""
+    return f"{value * 100:.{digits}f}%"

@@ -1,0 +1,11 @@
+"""NumPy reverse-mode autograd tensor library (the executable substrate)."""
+
+from repro.tensor import functional, recording
+from repro.tensor.module import (Dropout, Embedding, LayerNorm, Linear,
+                                 Module, Parameter)
+from repro.tensor.tensor import Tensor, ones, tensor, zeros
+
+__all__ = [
+    "Dropout", "Embedding", "LayerNorm", "Linear", "Module", "Parameter",
+    "Tensor", "functional", "ones", "recording", "tensor", "zeros",
+]

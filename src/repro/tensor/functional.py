@@ -1,0 +1,153 @@
+"""Neural-network functional ops built on the autograd Tensor.
+
+Softmax, LayerNorm, GeLU, dropout, embedding lookup and the losses BERT
+needs.  Where numerical stability matters (softmax, log-softmax) the ops
+are implemented as dedicated primitives rather than compositions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            soft = np.exp(out_data)
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit, exact erf form (paper Eq. 1)."""
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    return x * 0.5 * ((x * inv_sqrt2).erf() + 1.0)
+
+
+def layer_norm(x: Tensor, gain: Tensor, bias: Tensor,
+               eps: float = 1e-5) -> Tensor:
+    """LayerNorm over the last axis with learnable gain and bias."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered * ((variance + eps) ** -0.5)
+    return normalized * gain + bias
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    if not training or p == 0.0:
+        return x
+    keep = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row gather from an embedding table with scatter-add backward."""
+    indices = np.asarray(indices)
+    out_data = table.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if table.requires_grad:
+            full = np.zeros_like(table.data)
+            np.add.at(full, indices.reshape(-1),
+                      grad.reshape(-1, table.data.shape[-1]))
+            table._accumulate(full)
+    return Tensor._make(out_data, (table,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int | None = None) -> Tensor:
+    """Mean cross-entropy over rows of ``logits``.
+
+    Args:
+        logits: ``(rows, classes)`` scores.
+        targets: ``(rows,)`` integer class labels.
+        ignore_index: rows with this label contribute nothing (BERT's MLM
+            loss ignores unmasked positions this way).
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.shape != (logits.shape[0],):
+        raise ValueError("expected (rows, classes) logits and (rows,) targets")
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(logits.shape[0])
+    if ignore_index is not None:
+        valid = targets != ignore_index
+        count = max(1, int(valid.sum()))
+        safe_targets = np.where(valid, targets, 0)
+        picked = log_probs[rows, safe_targets]
+        weights = valid.astype(logits.dtype) / count
+        return -(picked * Tensor(weights)).sum()
+    picked = log_probs[rows, targets]
+    return -picked.mean()
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Where ``mask`` is true, replace ``x`` by ``value`` (no grad there)."""
+    mask = np.asarray(mask, dtype=bool)
+    keep = Tensor((~mask).astype(x.dtype))
+    fill = Tensor(mask.astype(x.dtype) * value)
+    return x * keep + fill
+
+
+def attention_mask_bias(padding_mask: np.ndarray,
+                        dtype=np.float32) -> np.ndarray:
+    """Additive attention bias from a ``(B, n)`` padding mask.
+
+    Valid positions get 0, padded positions a large negative value, shaped
+    ``(B, 1, 1, n)`` for broadcasting across heads and query positions —
+    the mask-add kernel of the paper's Scale+Mask+DR+SM phase.
+    """
+    padding_mask = np.asarray(padding_mask, dtype=bool)
+    bias = np.where(padding_mask, 0.0, -1e9).astype(dtype)
+    return bias[:, None, None, :]
+
+
+def causal_attention_bias(seq_len: int, dtype=np.float32) -> np.ndarray:
+    """Additive causal (decoder) mask of shape ``(1, 1, n, n)``.
+
+    Position ``i`` may attend only to positions ``<= i`` — the masked
+    attention of decoder stacks like GPT (Sec. 2.3: the decoder "is similar
+    to encoder except its attention layer is masked to consider only past
+    tokens ... it only zeros certain matrix elements", so training cost is
+    unchanged).
+    """
+    if seq_len < 1:
+        raise ValueError("seq_len must be positive")
+    future = np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+    bias = np.where(future, -1e9, 0.0).astype(dtype)
+    return bias[None, None, :, :]
+
+
+def combine_attention_biases(*biases: np.ndarray | None) -> np.ndarray | None:
+    """Sum broadcastable additive attention biases, skipping ``None``."""
+    present = [b for b in biases if b is not None]
+    if not present:
+        return None
+    combined = present[0]
+    for bias in present[1:]:
+        combined = combined + bias
+    return combined

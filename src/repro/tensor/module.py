@@ -1,0 +1,160 @@
+"""Module/parameter system and basic layers.
+
+A light ``torch.nn``-style layer system over the autograd Tensor: parameter
+registration and traversal, train/eval mode, and the building-block layers
+BERT composes (Linear, LayerNorm, Dropout, Embedding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires grad)."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with parameter registration and mode switching."""
+
+    def __init__(self):
+        self._modules: dict[str, Module] = {}
+        self._parameters: dict[str, Parameter] = {}
+        self.training = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def named_parameters(self, prefix: str = ""):
+        """Yield ``(qualified_name, Parameter)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_parameters(child_prefix)
+
+    def parameters(self):
+        """Yield all parameters."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def num_parameters(self) -> int:
+        """Total trainable element count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array by qualified name."""
+        return {name: param.data.copy()
+                for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays by qualified name (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}")
+            param.data = state[name].astype(param.data.dtype).copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Dense layer ``y = x @ W^T + b`` with truncated-normal init."""
+
+    def __init__(self, d_in: int, d_out: int, *,
+                 rng: np.random.Generator, init_std: float = 0.02,
+                 dtype=np.float32):
+        super().__init__()
+        self.d_in, self.d_out = d_in, d_out
+        weight = _truncated_normal(rng, (d_out, d_in), init_std).astype(dtype)
+        self.weight = Parameter(weight, name="weight")
+        self.bias = Parameter(np.zeros(d_out, dtype=dtype), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.matmul(self.weight.transpose()) + self.bias
+
+
+class LayerNorm(Module):
+    """LayerNorm over the last dimension."""
+
+    def __init__(self, d_model: int, *, eps: float = 1e-5, dtype=np.float32):
+        super().__init__()
+        self.eps = eps
+        self.gain = Parameter(np.ones(d_model, dtype=dtype), name="gain")
+        self.bias = Parameter(np.zeros(d_model, dtype=dtype), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gain, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit RNG for reproducibility."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+
+class Embedding(Module):
+    """Lookup table with truncated-normal init."""
+
+    def __init__(self, num_embeddings: int, d_model: int, *,
+                 rng: np.random.Generator, init_std: float = 0.02,
+                 dtype=np.float32):
+        super().__init__()
+        table = _truncated_normal(rng, (num_embeddings, d_model),
+                                  init_std).astype(dtype)
+        self.weight = Parameter(table, name="weight")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+
+def _truncated_normal(rng: np.random.Generator, shape: tuple[int, ...],
+                      std: float) -> np.ndarray:
+    """Normal samples truncated at two standard deviations (BERT's init)."""
+    samples = rng.normal(0.0, std, size=shape)
+    bound = 2.0 * std
+    bad = np.abs(samples) > bound
+    while bad.any():
+        samples[bad] = rng.normal(0.0, std, size=int(bad.sum()))
+        bad = np.abs(samples) > bound
+    return samples

@@ -1,0 +1,70 @@
+"""Op recording hooks for trace cross-validation.
+
+The analytic kernel trace (:mod:`repro.trace`) claims BERT's layers manifest
+as specific GEMM shapes (Table 2b).  To keep that claim honest, the autograd
+engine reports every executed op here; tests run the real NumPy model under
+:func:`record` capture and compare the observed matmul shapes against the
+analytic trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One recorded tensor op.
+
+    Attributes:
+        kind: op name (``"matmul"``, ``"add"``, ``"mul"``, ...).
+        shapes: operand shapes, in order.
+    """
+
+    kind: str
+    shapes: tuple[tuple[int, ...], ...]
+
+    def matmul_mnk(self) -> tuple[int, int, int, int]:
+        """(m, n, k, batch) of a recorded matmul, collapsing batch dims."""
+        if self.kind != "matmul":
+            raise ValueError("not a matmul record")
+        a, b = self.shapes
+        m, k = a[-2], a[-1]
+        n = b[-1]
+        batch = 1
+        for dim in a[:-2]:
+            batch *= dim
+        return m, n, k, batch
+
+
+_active: list[list[OpRecord]] = []
+
+
+def record(kind: str, *shapes: tuple[int, ...]) -> None:
+    """Report an executed op to any active recorders (no-op otherwise)."""
+    if not _active:
+        return
+    entry = OpRecord(kind=kind, shapes=tuple(tuple(s) for s in shapes))
+    for sink in _active:
+        sink.append(entry)
+
+
+@contextmanager
+def capture():
+    """Context manager collecting all ops executed inside it.
+
+    Yields:
+        The list that fills with :class:`OpRecord` entries.
+    """
+    sink: list[OpRecord] = []
+    _active.append(sink)
+    try:
+        yield sink
+    finally:
+        _active.remove(sink)
+
+
+def matmuls(records: list[OpRecord]) -> list[OpRecord]:
+    """Only the matmul records of a capture."""
+    return [r for r in records if r.kind == "matmul"]

@@ -1,0 +1,370 @@
+"""A small reverse-mode autograd engine over NumPy.
+
+This is the executable substrate of the reproduction: enough of a tensor
+library to express and *train* BERT end-to-end (matmul and batched matmul,
+broadcasting elementwise arithmetic, reductions, shape ops), with gradients
+checked against finite differences in the test suite.
+
+Design notes:
+
+* every differentiable op appends a node to an implicit tape via parent
+  links; :meth:`Tensor.backward` runs a topological sweep;
+* broadcasting is handled by summing gradients over broadcast axes
+  (:func:`_unbroadcast`);
+* an optional op recorder (:mod:`repro.tensor.recording`) observes every
+  matmul so tests can cross-validate the analytic kernel trace against the
+  shapes the model actually executes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.tensor import recording
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were size-1 in the original shape.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    array = np.asarray(value)
+    if dtype is not None:
+        array = array.astype(dtype, copy=False)
+    elif array.dtype not in (np.float32, np.float64):
+        array = array.astype(np.float64)
+    return array
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autograd.
+
+    Attributes:
+        data: the underlying :class:`numpy.ndarray`.
+        requires_grad: whether gradients flow to this tensor.
+        grad: accumulated gradient after :meth:`backward`, or ``None``.
+        name: optional label for debugging and parameter registration.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "name",
+                 "_backward_fn", "_parents")
+
+    def __init__(self, data, *, requires_grad: bool = False,
+                 name: str | None = None, dtype=None):
+        self.data = _as_array(data, dtype)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self.name = name
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    # --------------------------------------------------------- graph plumbing
+    @staticmethod
+    def _make(data: np.ndarray, parents: Iterable["Tensor"],
+              backward_fn: Callable[[np.ndarray], None]) -> "Tensor":
+        parents = tuple(parents)
+        out = Tensor(data)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(_as_array(grad), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor.
+
+        Args:
+            grad: upstream gradient; defaults to ones (and must be provided
+                explicitly for non-scalar outputs only by choice — ones is
+                used regardless, matching ``sum().backward()`` semantics).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not "
+                               "require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        self._accumulate(grad)
+
+        ordered: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                ordered.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        for node in reversed(ordered):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+                # Free the tape as we go; keeps memory bounded.
+                node._backward_fn = None
+                node._parents = ()
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------ arithmetic
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(
+            _as_array(other, dtype=self.dtype))
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        recording.record("add", self.shape, other.shape)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        recording.record("mul", self.shape, other.shape)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data ** 2))
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+        return Tensor._make(out_data, (self,), backward)
+
+    # ---------------------------------------------------------- matmul & co.
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """(Batched) matrix multiplication with full broadcasting."""
+        other = self._coerce(other)
+        recording.record("matmul", self.shape, other.shape)
+        out_data = np.matmul(self.data, other.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.matmul(grad, np.swapaxes(other.data, -1, -2)))
+            if other.requires_grad:
+                other._accumulate(np.matmul(np.swapaxes(self.data, -1, -2), grad))
+        return Tensor._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------ elementwise
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+        return Tensor._make(out_data, (self,), backward)
+
+    def erf(self) -> "Tensor":
+        from scipy.special import erf as _erf
+        out_data = _erf(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                pdf = 2.0 / np.sqrt(np.pi) * np.exp(-self.data ** 2)
+                self._accumulate(grad * pdf)
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = _as_array(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = (self.size if axis is None
+                 else self.data.shape[axis] if isinstance(axis, int)
+                 else int(np.prod([self.data.shape[a] for a in axis])))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = _as_array(grad)
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+            mask = (self.data == expanded)
+            # Split gradient between ties, matching subgradient convention.
+            mask = mask / mask.sum(axis=axis, keepdims=True)
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(mask * g)
+        return Tensor._make(out_data, (self,), backward)
+
+    # -------------------------------------------------------------- shape ops
+    def reshape(self, *shape: int) -> "Tensor":
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes = axes or tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+        return Tensor._make(out_data, (self,), backward)
+
+
+def tensor(data, *, requires_grad: bool = False, dtype=None,
+           name: str | None = None) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype, name=name)
+
+
+def zeros(shape, *, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def ones(shape, *, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)

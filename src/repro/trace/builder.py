@@ -1,0 +1,125 @@
+"""Trace container and builder.
+
+A :class:`Trace` is the ordered kernel sequence of one training iteration —
+the software-side analogue of the rocProf kernel trace the paper collects
+(Sec. 3.1.4).  It knows nothing about time; devices assign that later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.config import BertConfig, TrainingConfig
+from repro.ops.base import Component, Kernel, OpClass, Phase, Region
+
+
+@dataclass
+class Trace:
+    """Ordered kernel sequence of one training iteration.
+
+    Attributes:
+        model: model configuration the trace was generated for.
+        training: training operating point.
+        kernels: the kernel sequence, in launch order.
+    """
+
+    model: BertConfig
+    training: TrainingConfig
+    kernels: list[Kernel] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __iter__(self) -> Iterator[Kernel]:
+        return iter(self.kernels)
+
+    # ------------------------------------------------------------- selection
+    def select(self, *, phase: Phase | None = None,
+               component: Component | None = None,
+               region: Region | None = None,
+               op_class: OpClass | None = None,
+               layer_index: int | None = None,
+               predicate: Callable[[Kernel], bool] | None = None
+               ) -> list[Kernel]:
+        """Kernels matching all the given filters."""
+        out = []
+        for kernel in self.kernels:
+            if phase is not None and kernel.phase is not phase:
+                continue
+            if component is not None and kernel.component is not component:
+                continue
+            if region is not None and kernel.region is not region:
+                continue
+            if op_class is not None and kernel.op_class is not op_class:
+                continue
+            if layer_index is not None and kernel.layer_index != layer_index:
+                continue
+            if predicate is not None and not predicate(kernel):
+                continue
+            out.append(kernel)
+        return out
+
+    def gemms(self) -> list[Kernel]:
+        """All (batched) GEMM kernels."""
+        return [k for k in self.kernels if k.op_class.is_gemm]
+
+    def non_gemms(self) -> list[Kernel]:
+        """All non-GEMM kernels."""
+        return [k for k in self.kernels if not k.op_class.is_gemm]
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def total_flops(self) -> int:
+        return sum(k.flops for k in self.kernels)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(k.bytes_total for k in self.kernels)
+
+    def kernel_count(self, **filters) -> int:
+        """Number of kernels matching :meth:`select` filters."""
+        return len(self.select(**filters))
+
+    def replaced(self, kernels: list[Kernel]) -> "Trace":
+        """A copy of this trace with a different kernel sequence."""
+        return Trace(model=self.model, training=self.training,
+                     kernels=list(kernels))
+
+
+class TraceBuilder:
+    """Incremental trace construction with layer attribution.
+
+    Sub-layer emitters append kernels through :meth:`add`; the builder stamps
+    the current layer index so breakdowns can attribute kernels without the
+    emitters threading it everywhere.
+    """
+
+    def __init__(self, model: BertConfig, training: TrainingConfig):
+        self._trace = Trace(model=model, training=training)
+        self._layer_index: int | None = None
+
+    @property
+    def model(self) -> BertConfig:
+        return self._trace.model
+
+    @property
+    def training(self) -> TrainingConfig:
+        return self._trace.training
+
+    def set_layer(self, layer_index: int | None) -> None:
+        """Set the encoder-layer attribution for subsequently added kernels."""
+        self._layer_index = layer_index
+
+    def add(self, kernels: Kernel | Iterable[Kernel]) -> None:
+        """Append kernel(s), stamping the current layer index."""
+        if isinstance(kernels, Kernel):
+            kernels = [kernels]
+        for kernel in kernels:
+            if self._layer_index is not None and kernel.layer_index is None:
+                kernel = kernel.with_layer(self._layer_index)
+            self._trace.kernels.append(kernel)
+
+    def build(self) -> Trace:
+        """Finish and return the trace."""
+        return self._trace

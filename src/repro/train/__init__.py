@@ -1,0 +1,10 @@
+"""End-to-end training loop, schedules, checkpoints and evaluation."""
+
+from repro.train.checkpoint_io import load_checkpoint, save_checkpoint
+from repro.train.evaluate import EvalResult, evaluate
+from repro.train.loop import StepResult, Trainer, TrainingHistory
+from repro.train.schedule import constant, linear_warmup
+
+__all__ = ["EvalResult", "StepResult", "Trainer", "TrainingHistory",
+           "constant", "evaluate", "linear_warmup", "load_checkpoint",
+           "save_checkpoint"]

@@ -1,0 +1,67 @@
+"""Model/optimizer checkpoint persistence.
+
+Saves the executable model's parameters (and optionally the optimizer's
+moment state and step counter) to a single ``.npz`` file, so long training
+runs can resume and experiments can be replayed bit for bit.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.tensor.module import Module
+
+_STEP_KEY = "__optimizer_step__"
+_STATE_PREFIX = "__state__"
+
+
+def save_checkpoint(path: str, model: Module,
+                    optimizer: Optimizer | None = None) -> None:
+    """Write model parameters (and optimizer state) to ``path``.
+
+    Args:
+        path: destination ``.npz`` file; parent directories are created.
+        model: model whose ``named_parameters`` are saved.
+        optimizer: optionally saves its per-parameter moment tensors and
+            step count alongside.
+    """
+    payload: dict[str, np.ndarray] = dict(model.state_dict())
+    if optimizer is not None:
+        payload[_STEP_KEY] = np.asarray(optimizer.step_count)
+        for index, state in enumerate(optimizer._state):
+            for key, value in state.items():
+                payload[f"{_STATE_PREFIX}{index}.{key}"] = value
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez(handle, **payload)
+
+
+def load_checkpoint(path: str, model: Module,
+                    optimizer: Optimizer | None = None) -> None:
+    """Restore model parameters (and optimizer state) from ``path``.
+
+    Raises:
+        KeyError/ValueError: on any name or shape mismatch (strict load).
+    """
+    with np.load(path) as archive:
+        payload = {key: archive[key] for key in archive.files}
+
+    state = {key: value for key, value in payload.items()
+             if not key.startswith((_STEP_KEY, _STATE_PREFIX))}
+    model.load_state_dict(state)
+
+    if optimizer is not None:
+        if _STEP_KEY not in payload:
+            raise KeyError("checkpoint holds no optimizer state")
+        optimizer.step_count = int(payload[_STEP_KEY])
+        for index in range(len(optimizer._state)):
+            restored: dict[str, np.ndarray] = {}
+            prefix = f"{_STATE_PREFIX}{index}."
+            for key, value in payload.items():
+                if key.startswith(prefix):
+                    restored[key[len(prefix):]] = value.copy()
+            optimizer._state[index] = restored

@@ -1,0 +1,68 @@
+"""Evaluation metrics for the executable model.
+
+Masked-LM top-1 accuracy and NSP accuracy over held-out synthetic batches,
+used by tests and examples to show the model genuinely learns (chance
+levels: ``1/vocab`` and ``1/2`` respectively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.batching import IGNORE_INDEX, PreTrainingDataset
+from repro.model.bert import BertForPreTraining
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Aggregated evaluation metrics.
+
+    Attributes:
+        mlm_accuracy: top-1 accuracy on masked positions.
+        nsp_accuracy: is-next classification accuracy.
+        mlm_positions: masked positions evaluated.
+        examples: sequence count evaluated.
+    """
+
+    mlm_accuracy: float
+    nsp_accuracy: float
+    mlm_positions: int
+    examples: int
+
+
+def evaluate(model: BertForPreTraining, dataset: PreTrainingDataset, *,
+             batch_size: int = 16, batches: int = 4) -> EvalResult:
+    """Run the model on fresh batches and score both objectives.
+
+    The model is switched to eval mode (dropout off) and restored to its
+    previous mode afterwards.
+    """
+    if batches < 1 or batch_size < 1:
+        raise ValueError("batches and batch_size must be positive")
+    was_training = model.training
+    model.eval()
+    mlm_correct = 0
+    mlm_total = 0
+    nsp_correct = 0
+    examples = 0
+    try:
+        for batch in dataset.batches(batch_size, batches):
+            mlm_logits, nsp_logits = model(
+                batch.token_ids, segment_ids=batch.segment_ids,
+                padding_mask=batch.padding_mask)
+            predictions = mlm_logits.data.argmax(axis=-1)
+            labeled = batch.mlm_labels != IGNORE_INDEX
+            mlm_correct += int(
+                (predictions[labeled] == batch.mlm_labels[labeled]).sum())
+            mlm_total += int(labeled.sum())
+            nsp_pred = nsp_logits.data.argmax(axis=-1)
+            nsp_correct += int((nsp_pred == batch.nsp_labels).sum())
+            examples += batch.batch_size
+    finally:
+        model.train(was_training)
+    return EvalResult(
+        mlm_accuracy=mlm_correct / max(1, mlm_total),
+        nsp_accuracy=nsp_correct / max(1, examples),
+        mlm_positions=mlm_total,
+        examples=examples,
+    )

@@ -1,0 +1,132 @@
+"""End-to-end training loop for the executable BERT model.
+
+Drives the NumPy model through real forward/backward/update iterations on
+synthetic MLM+NSP batches.  Used by the tests (loss must fall below the
+uniform-guess baseline) and the wall-clock profiling example.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.data.batching import PreTrainingBatch, PreTrainingDataset
+from repro.model.bert import BertForPreTraining
+from repro.optim.base import Optimizer
+from repro.train.schedule import constant
+
+
+@dataclass
+class StepResult:
+    """Metrics of one training step.
+
+    Attributes:
+        step: 1-based step index.
+        loss: combined MLM+NSP loss.
+        grad_norm: global gradient L2 norm.
+        lr: learning rate applied.
+        seconds: wall-clock duration of the step.
+    """
+
+    step: int
+    loss: float
+    grad_norm: float
+    lr: float
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated step results."""
+
+    steps: list[StepResult] = field(default_factory=list)
+
+    def losses(self) -> list[float]:
+        return [s.loss for s in self.steps]
+
+    @property
+    def final_loss(self) -> float:
+        if not self.steps:
+            raise ValueError("no steps recorded")
+        return self.steps[-1].loss
+
+
+class Trainer:
+    """Training-loop driver.
+
+    Args:
+        model: the executable BERT model.
+        optimizer: any :class:`~repro.optim.base.Optimizer`.
+        dataset: batch source.
+        lr_schedule: ``step -> learning rate``; defaults to the optimizer's
+            constant ``lr``.
+    """
+
+    def __init__(self, model: BertForPreTraining, optimizer: Optimizer,
+                 dataset: PreTrainingDataset,
+                 lr_schedule: Callable[[int], float] | None = None):
+        self.model = model
+        self.optimizer = optimizer
+        self.dataset = dataset
+        base_lr = optimizer.lr
+        self.lr_schedule = lr_schedule or (
+            lambda step: constant(step, base_lr=base_lr))
+        self.history = TrainingHistory()
+
+    def train_step(self, batch: PreTrainingBatch,
+                   micro_batches: int = 1) -> StepResult:
+        """One optimizer step on ``batch``.
+
+        Args:
+            batch: the full batch for this step.
+            micro_batches: gradient-accumulation factor — the batch is
+                split into this many forward/backward passes whose
+                gradients sum before the single update, enabling effective
+                batches beyond what fits at once (the same trick LAMB's
+                large-batch regime relies on).
+        """
+        if micro_batches < 1 or batch.batch_size % micro_batches:
+            raise ValueError("micro_batches must divide the batch size")
+        start = time.perf_counter()
+        self.optimizer.zero_grad()
+        chunk = batch.batch_size // micro_batches
+        total_loss = 0.0
+        for index in range(micro_batches):
+            rows = slice(index * chunk, (index + 1) * chunk)
+            loss = self.model.loss(batch.token_ids[rows],
+                                   batch.mlm_labels[rows],
+                                   batch.nsp_labels[rows],
+                                   segment_ids=batch.segment_ids[rows],
+                                   padding_mask=batch.padding_mask[rows])
+            # Mean-reduce across micro-batches so gradients match a single
+            # full-batch pass.
+            (loss * (1.0 / micro_batches)).backward()
+            total_loss += float(loss.item()) / micro_batches
+        grad_norm = self.optimizer.global_grad_norm()
+        step_index = self.optimizer.step_count + 1
+        self.optimizer.lr = self.lr_schedule(step_index)
+        self.optimizer.step()
+        result = StepResult(step=step_index, loss=total_loss,
+                            grad_norm=grad_norm, lr=self.optimizer.lr,
+                            seconds=time.perf_counter() - start)
+        self.history.steps.append(result)
+        return result
+
+    def train(self, batch_size: int, steps: int, log_every: int = 0,
+              micro_batches: int = 1) -> TrainingHistory:
+        """Run ``steps`` iterations of fresh batches.
+
+        Args:
+            batch_size: mini-batch size ``B``.
+            steps: iteration count.
+            log_every: print progress every that many steps (0 = silent).
+            micro_batches: gradient-accumulation factor per step.
+        """
+        for batch in self.dataset.batches(batch_size, steps):
+            result = self.train_step(batch, micro_batches=micro_batches)
+            if log_every and result.step % log_every == 0:
+                print(f"step {result.step:5d}  loss {result.loss:7.4f}  "
+                      f"|g| {result.grad_norm:8.3f}  lr {result.lr:.2e}  "
+                      f"{result.seconds*1e3:7.1f} ms")
+        return self.history

@@ -1,0 +1,34 @@
+"""Learning-rate schedules used in BERT pre-training."""
+
+from __future__ import annotations
+
+
+def linear_warmup(step: int, *, base_lr: float, warmup_steps: int,
+                  total_steps: int, min_lr: float = 0.0) -> float:
+    """Linear warmup then linear decay (the BERT/LAMB schedule).
+
+    Args:
+        step: 1-based training step.
+        base_lr: peak learning rate reached after warmup.
+        warmup_steps: warmup duration.
+        total_steps: total schedule length; decays to ``min_lr`` at the end.
+        min_lr: floor learning rate.
+    """
+    if step < 1:
+        raise ValueError("step is 1-based")
+    if warmup_steps < 0 or total_steps <= 0:
+        raise ValueError("invalid schedule lengths")
+    if warmup_steps and step <= warmup_steps:
+        return base_lr * step / warmup_steps
+    if step >= total_steps:
+        return min_lr
+    span = max(1, total_steps - warmup_steps)
+    progress = (step - warmup_steps) / span
+    return min_lr + (base_lr - min_lr) * (1.0 - progress)
+
+
+def constant(step: int, *, base_lr: float) -> float:
+    """Constant learning rate (for small-scale tests)."""
+    if step < 1:
+        raise ValueError("step is 1-based")
+    return base_lr

@@ -1,0 +1,212 @@
+"""Tests for the analytical multi-device training models (Sec. 5)."""
+
+import pytest
+
+from repro.config import BERT_LARGE, BERT_TINY, Precision, TrainingConfig, training_point
+from repro.distributed import (ALLREDUCES_PER_LAYER, PCIE4, XGMI, LinkSpec,
+                               allgather_time, broadcast_time,
+                               build_sliced_iteration_trace,
+                               data_parallel_timeline,
+                               exposed_dp_communication, hybrid_timeline,
+                               ring_allreduce_time, single_device_timeline,
+                               sliced_parameter_inventory,
+                               tensor_slicing_communication,
+                               tensor_slicing_timeline)
+from repro.hw import mi100
+from repro.ops.base import Component
+from repro.profiler import profile_trace
+from repro.trace import bert_parameter_inventory, build_iteration_trace
+
+
+@pytest.fixture(scope="module")
+def device():
+    return mi100()
+
+
+@pytest.fixture(scope="module")
+def b16():
+    return training_point(1, 16, Precision.FP32)
+
+
+class TestLinksAndCollectives:
+    def test_link_transfer_time(self):
+        link = LinkSpec(name="t", bandwidth_gbps=10.0, latency_us=1.0)
+        assert link.transfer_time(10**9) == pytest.approx(0.1 + 1e-6)
+
+    def test_invalid_link_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(name="bad", bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            LinkSpec(name="bad", bandwidth_gbps=1.0, latency_us=-1.0)
+
+    def test_ring_allreduce_single_device_free(self):
+        assert ring_allreduce_time(10**9, 1, PCIE4) == 0.0
+
+    def test_ring_allreduce_formula(self):
+        link = LinkSpec(name="t", bandwidth_gbps=1.0, latency_us=0.0)
+        # 2*(D-1) steps of (bytes/D) each.
+        t = ring_allreduce_time(8 * 10**9, 8, link)
+        assert t == pytest.approx(2 * 7 * 1e9 / 1e9)
+
+    def test_ring_allreduce_grows_slowly_with_devices(self):
+        t8 = ring_allreduce_time(10**9, 8, PCIE4)
+        t128 = ring_allreduce_time(10**9, 128, PCIE4)
+        # Bandwidth term approaches 2x payload/bw; far less than 16x.
+        assert t128 < 1.5 * t8
+
+    def test_other_collectives(self):
+        assert allgather_time(10**6, 4, PCIE4) > 0
+        assert broadcast_time(10**6, 4, PCIE4) > 0
+        assert allgather_time(10**6, 1, PCIE4) == 0.0
+        with pytest.raises(ValueError):
+            ring_allreduce_time(-1, 2, PCIE4)
+        with pytest.raises(ValueError):
+            ring_allreduce_time(1, 0, PCIE4)
+
+
+class TestDataParallel:
+    def test_single_device_has_no_comm(self, device, b16):
+        timeline = single_device_timeline(BERT_LARGE, b16, device)
+        assert timeline.buckets["communication"] == 0.0
+        assert timeline.devices == 1
+
+    def test_overlap_hides_most_communication(self, device, b16):
+        with_overlap = data_parallel_timeline(BERT_LARGE, b16, device,
+                                              PCIE4, 128, overlap=True)
+        without = data_parallel_timeline(BERT_LARGE, b16, device, PCIE4,
+                                         128, overlap=False)
+        assert (with_overlap.buckets["communication"]
+                < 0.35 * without.buckets["communication"])
+
+    def test_no_overlap_matches_full_allreduce(self, device, b16):
+        trace = build_iteration_trace(BERT_LARGE, b16)
+        profile = profile_trace(trace.kernels, device)
+        exposed = exposed_dp_communication(BERT_LARGE, b16, profile, PCIE4,
+                                           128, overlap=False)
+        grads = sum(t.n_elements
+                    for t in bert_parameter_inventory(BERT_LARGE)) * 4
+        assert exposed == pytest.approx(
+            ring_allreduce_time(grads, 128, PCIE4))
+
+    def test_d2_profile_close_to_s1(self, device, b16):
+        # Obs. 5: DP with overlap looks like single-GPU training.
+        s1 = single_device_timeline(BERT_LARGE, b16, device)
+        d2 = data_parallel_timeline(BERT_LARGE, b16, device, PCIE4, 128,
+                                    overlap=True)
+        assert d2.total < 1.15 * s1.total
+
+    def test_d1_communication_share_in_band(self, device, b16):
+        # Fig. 11: D1 spends ~19% communicating (we allow 15-30%).
+        d1 = data_parallel_timeline(BERT_LARGE, b16, device, PCIE4, 128,
+                                    overlap=False)
+        assert 0.15 < d1.communication_fraction < 0.30
+
+    def test_compute_buckets_unchanged_by_dp(self, device, b16):
+        s1 = single_device_timeline(BERT_LARGE, b16, device)
+        d1 = data_parallel_timeline(BERT_LARGE, b16, device, PCIE4, 128,
+                                    overlap=False)
+        for bucket in ("transformer", "optimizer", "output"):
+            assert d1.buckets[bucket] == pytest.approx(s1.buckets[bucket])
+
+    def test_faster_link_reduces_exposure(self, device, b16):
+        slow = data_parallel_timeline(BERT_LARGE, b16, device, PCIE4, 128,
+                                      overlap=True)
+        fast = data_parallel_timeline(BERT_LARGE, b16, device, XGMI, 128,
+                                      overlap=True)
+        assert (fast.buckets["communication"]
+                <= slow.buckets["communication"])
+
+
+class TestTensorSlicing:
+    def test_sliced_inventory_shrinks_matrices(self):
+        full = bert_parameter_inventory(BERT_LARGE)
+        half = sliced_parameter_inventory(BERT_LARGE, 2)
+        full_total = sum(t.n_elements for t in full)
+        half_total = sum(t.n_elements for t in half)
+        assert 0.5 < half_total / full_total < 0.56  # LN/embed replicated
+
+    def test_sliced_trace_has_less_encoder_work(self, b16):
+        full = build_iteration_trace(BERT_LARGE, b16)
+        sliced = build_sliced_iteration_trace(BERT_LARGE, b16, 4)
+        full_flops = sum(k.flops for k in full.select(
+            component=Component.TRANSFORMER))
+        sliced_flops = sum(k.flops for k in sliced.select(
+            component=Component.TRANSFORMER))
+        assert sliced_flops == pytest.approx(full_flops / 4, rel=0.05)
+
+    def test_communication_count(self, b16):
+        # 4 AllReduces per layer per iteration (Sec. 5.1).
+        per_ar = ring_allreduce_time(
+            b16.tokens_per_iteration * BERT_LARGE.d_model * 4, 2, PCIE4)
+        total = tensor_slicing_communication(BERT_LARGE, b16, PCIE4, 2)
+        assert total == pytest.approx(
+            per_ar * BERT_LARGE.num_layers * ALLREDUCES_PER_LAYER)
+
+    def test_one_way_is_free(self, b16):
+        assert tensor_slicing_communication(BERT_LARGE, b16, PCIE4, 1) == 0.0
+
+    def test_lamb_share_halves_with_two_way(self, device, b16):
+        # Takeaway 12.
+        s1 = single_device_timeline(BERT_LARGE, b16, device)
+        t1 = tensor_slicing_timeline(BERT_LARGE, b16, device, PCIE4, 2)
+        s1_lamb = s1.buckets["optimizer"]
+        t1_lamb = t1.buckets["optimizer"]
+        assert t1_lamb == pytest.approx(0.5 * s1_lamb, rel=0.15)
+
+    def test_communication_share_grows_with_ways(self, device):
+        # Takeaway 13 (T2 uses a larger per-device batch, as in Fig. 11).
+        t1 = tensor_slicing_timeline(BERT_LARGE,
+                                     training_point(1, 16, Precision.FP32),
+                                     device, PCIE4, 2)
+        t2 = tensor_slicing_timeline(BERT_LARGE,
+                                     training_point(1, 64, Precision.FP32),
+                                     device, PCIE4, 8)
+        assert t2.communication_fraction > 2 * t1.communication_fraction
+        assert 0.30 < t2.communication_fraction < 0.55  # paper: ~42%
+
+    def test_replicated_layers_share_grows(self, device, b16):
+        t1 = tensor_slicing_timeline(BERT_LARGE, b16, device, PCIE4, 2)
+        t8 = tensor_slicing_timeline(BERT_LARGE, b16, device, PCIE4, 8)
+        assert (t8.fraction("dr_rc_ln_replicated")
+                > t1.fraction("dr_rc_ln_replicated"))
+
+    def test_invalid_ways_rejected(self, b16):
+        with pytest.raises(ValueError):
+            build_sliced_iteration_trace(BERT_LARGE, b16, 5)
+        with pytest.raises(ValueError):
+            sliced_parameter_inventory(BERT_LARGE, 0)
+
+
+class TestHybrid:
+    def test_hybrid_combines_both_costs(self, device, b16):
+        ts_only = tensor_slicing_timeline(BERT_LARGE, b16, device, XGMI, 2)
+        hybrid = hybrid_timeline(BERT_LARGE, b16, device, ts_link=XGMI,
+                                 dp_link=PCIE4, ts_ways=2, dp_replicas=64)
+        assert hybrid.devices == 128
+        assert (hybrid.buckets["communication"]
+                >= ts_only.buckets["communication"])
+
+    def test_single_replica_adds_nothing(self, device, b16):
+        ts_only = tensor_slicing_timeline(BERT_LARGE, b16, device, XGMI, 2)
+        hybrid = hybrid_timeline(BERT_LARGE, b16, device, ts_link=XGMI,
+                                 dp_link=PCIE4, ts_ways=2, dp_replicas=1)
+        assert hybrid.total == pytest.approx(ts_only.total)
+
+    def test_validation(self, device, b16):
+        with pytest.raises(ValueError):
+            hybrid_timeline(BERT_LARGE, b16, device, ts_link=XGMI,
+                            dp_link=PCIE4, ts_ways=2, dp_replicas=0)
+        with pytest.raises(ValueError):
+            hybrid_timeline(BERT_LARGE, b16, device, ts_link=XGMI,
+                            dp_link=PCIE4, ts_ways=2, dp_replicas=2,
+                            overlap_fraction=1.5)
+
+
+class TestTimeline:
+    def test_fractions_sum_to_one(self, device, b16):
+        timeline = tensor_slicing_timeline(BERT_TINY,
+                                           TrainingConfig(batch_size=2,
+                                                          seq_len=16),
+                                           device, PCIE4, 2)
+        total = sum(timeline.fraction(b) for b in timeline.buckets)
+        assert total == pytest.approx(1.0)

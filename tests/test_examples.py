@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs end to end.
+
+The training example is exercised with a reduced step count (the full run
+is ~30 s); the others run as shipped.
+"""
+
+import importlib
+import sys
+
+
+def _run_main(module_name: str, argv: list[str] | None = None,
+              capsys=None) -> str:
+    module = importlib.import_module(module_name)
+    old_argv = sys.argv
+    sys.argv = [module_name] + (argv or [])
+    try:
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_main("examples.quickstart", capsys=capsys)
+        assert "bert-large" in out
+        assert "Fig. 3" in out and "Fig. 6" in out
+
+    def test_accelerator_design_space(self, capsys):
+        out = _run_main("examples.accelerator_design_space", capsys=capsys)
+        assert "compute scaling" in out
+        assert "near-memory compute" in out
+
+    def test_distributed_scaleout(self, capsys):
+        out = _run_main("examples.distributed_scaleout", capsys=capsys)
+        assert "tensor-slicing scaling" in out
+        assert "128 GPUs" in out
+
+    def test_checkpointing_memory(self, capsys):
+        out = _run_main("examples.checkpointing_memory", capsys=capsys)
+        assert "largest B that fits" in out
+        assert "checkpointed" in out
+
+    def test_characterize_and_export(self, tmp_path, capsys):
+        out = _run_main("examples.characterize_and_export",
+                        argv=[str(tmp_path)], capsys=capsys)
+        assert "roofline" in out
+        assert (tmp_path / "bert_large_ph1_b32.csv").exists()
+        assert (tmp_path / "bert_large_ph1_b32.json").exists()
+
+    def test_plan_training_run(self, capsys):
+        out = _run_main("examples.plan_training_run", capsys=capsys)
+        assert "picked:" in out
+        assert "estimated total" in out
+
+    def test_train_tiny_bert_reduced(self, capsys, monkeypatch):
+        import examples.train_tiny_bert as example
+        monkeypatch.setattr(example, "STEPS", 8)
+        example.main()
+        out = capsys.readouterr().out
+        assert "loss:" in out
+        assert "held-out accuracy" in out

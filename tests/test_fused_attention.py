@@ -1,0 +1,141 @@
+"""Tests for fused (FlashAttention-style) attention: numerical equivalence
+of the executable block-wise algorithm and properties of the cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import fused_attention_study
+from repro.model.fused_attention import (attention_memory_elements,
+                                         blockwise_attention,
+                                         reference_attention)
+from repro.ops.base import DType, Phase
+from repro.ops.fused_attention import (fused_attention_backward_kernel,
+                                       fused_attention_forward_kernel,
+                                       fused_attention_kernels)
+from repro.tensor import functional as F
+
+
+class TestBlockwiseEquivalence:
+    """The fused algorithm must compute exactly what the eager one does."""
+
+    def _tensors(self, seed, batch=2, heads=3, n=40, d_head=8):
+        rng = np.random.default_rng(seed)
+        shape = (batch, heads, n, d_head)
+        return (rng.normal(size=shape), rng.normal(size=shape),
+                rng.normal(size=shape))
+
+    @pytest.mark.parametrize("block", [1, 7, 16, 40, 64])
+    def test_matches_reference_any_block_size(self, block):
+        q, k, v = self._tensors(0)
+        np.testing.assert_allclose(
+            blockwise_attention(q, k, v, block=block),
+            reference_attention(q, k, v), rtol=1e-10, atol=1e-12)
+
+    def test_matches_with_padding_mask(self):
+        q, k, v = self._tensors(1)
+        mask = np.ones((2, 40), dtype=bool)
+        mask[:, 30:] = False
+        bias = F.attention_mask_bias(mask, dtype=np.float64)
+        np.testing.assert_allclose(
+            blockwise_attention(q, k, v, bias=bias, block=16),
+            reference_attention(q, k, v, bias=bias),
+            rtol=1e-10, atol=1e-12)
+
+    def test_matches_with_causal_mask(self):
+        q, k, v = self._tensors(2)
+        bias = F.causal_attention_bias(40, dtype=np.float64)
+        np.testing.assert_allclose(
+            blockwise_attention(q, k, v, bias=bias, block=8),
+            reference_attention(q, k, v, bias=bias),
+            rtol=1e-10, atol=1e-12)
+
+    def test_stable_under_large_scores(self):
+        q, k, v = self._tensors(3)
+        out = blockwise_attention(q * 100, k * 100, v, block=8)
+        assert np.isfinite(out).all()
+
+    def test_rejects_bad_block(self):
+        q, k, v = self._tensors(4)
+        with pytest.raises(ValueError):
+            blockwise_attention(q, k, v, block=0)
+
+    @given(n=st.integers(2, 24), d=st.sampled_from([2, 4, 8]),
+           block=st.integers(1, 24), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_equivalence(self, n, d, block, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=(1, 1, n, d))
+        k = rng.normal(size=(1, 1, n, d))
+        v = rng.normal(size=(1, 1, n, d))
+        np.testing.assert_allclose(
+            blockwise_attention(q, k, v, block=block),
+            reference_attention(q, k, v), rtol=1e-9, atol=1e-11)
+
+    def test_rows_are_convex_combinations(self):
+        q, k, v = self._tensors(5)
+        out = blockwise_attention(q, k, v, block=16)
+        assert out.min() >= v.min() - 1e-9
+        assert out.max() <= v.max() + 1e-9
+
+
+class TestFusedAttentionCostModel:
+    ARGS = dict(seq_len=512, d_head=64, batch_heads=128, dtype=DType.FP32)
+
+    def test_forward_flops_conserved(self):
+        """Fusion saves traffic, not forward arithmetic."""
+        from repro.ops.gemm import (attention_output_gemms,
+                                    attention_score_gemms)
+        kernel = fused_attention_forward_kernel(**self.ARGS)
+        score = attention_score_gemms(512, 64, 128)["fwd"].flops
+        context = attention_output_gemms(512, 64, 128)["fwd"].flops
+        assert kernel.flops > score + context  # + softmax arithmetic
+        assert kernel.flops < 1.5 * (score + context)
+
+    def test_no_score_matrix_traffic(self):
+        # The kernel's entire traffic (Q+K+V+mask in, O+stats out) is less
+        # than even a single materialization of the score matrix.
+        kernel = fused_attention_forward_kernel(**self.ARGS)
+        score_bytes = 128 * 512 * 512 * 4
+        assert kernel.bytes_total < score_bytes
+
+    def test_backward_recomputes(self):
+        fwd = fused_attention_forward_kernel(**self.ARGS)
+        bwd = fused_attention_backward_kernel(**self.ARGS)
+        assert bwd.flops > 2 * fwd.flops  # 2x grads + recompute
+        assert bwd.phase is Phase.BACKWARD
+
+    def test_kernel_pair(self):
+        kernels = fused_attention_kernels(**self.ARGS)
+        assert len(kernels) == 2
+        assert {k.phase for k in kernels} == {Phase.FORWARD, Phase.BACKWARD}
+
+    def test_stash_savings_grow_quadratically(self):
+        eager_512 = attention_memory_elements(512, 64, 16, 8, fused=False)
+        fused_512 = attention_memory_elements(512, 64, 16, 8, fused=True)
+        eager_2k = attention_memory_elements(2048, 64, 16, 2, fused=False)
+        fused_2k = attention_memory_elements(2048, 64, 16, 2, fused=True)
+        assert (eager_2k / fused_2k) > 3 * (eager_512 / fused_512)
+
+
+class TestFusedAttentionStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fused_attention_study.run(seq_lens=(128, 512, 2048))
+
+    def test_speedup_everywhere(self, rows):
+        assert all(row.speedup > 2.0 for row in rows)
+
+    def test_savings_grow_with_sequence_length(self, rows):
+        assert rows[-1].traffic_ratio > 5 * rows[0].traffic_ratio
+        assert rows[-1].stash_ratio > 5 * rows[0].stash_ratio
+
+    def test_kernel_count_collapse(self, rows):
+        for row in rows:
+            assert row.fused_kernels == 2
+            assert row.eager_kernels > 10
+
+    def test_render(self, rows):
+        out = fused_attention_study.render(rows)
+        assert "speedup" in out and "stash saved" in out

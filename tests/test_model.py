@@ -1,0 +1,147 @@
+"""Tests for the executable BERT model."""
+
+import numpy as np
+import pytest
+
+from repro.config import BERT_TINY
+from repro.model import BertForPreTraining
+from repro.model.attention import MultiHeadSelfAttention
+from repro.tensor import functional as F
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BertForPreTraining(BERT_TINY, seed=0, dropout_p=0.0)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(1)
+    tokens = rng.integers(4, BERT_TINY.vocab_size, size=(2, 16))
+    return tokens
+
+
+class TestForwardShapes:
+    def test_encode_shape(self, model, batch):
+        hidden = model.encode(batch)
+        assert hidden.shape == (2, 16, BERT_TINY.d_model)
+
+    def test_head_shapes(self, model, batch):
+        mlm, nsp = model(batch)
+        assert mlm.shape == (2, 16, BERT_TINY.vocab_size)
+        assert nsp.shape == (2, 2)
+
+    def test_rejects_bad_rank(self, model):
+        with pytest.raises(ValueError):
+            model.encode(np.zeros(16, dtype=int))
+
+    def test_rejects_too_long_sequence(self, model):
+        too_long = np.zeros((1, BERT_TINY.max_position + 1), dtype=int)
+        with pytest.raises(ValueError):
+            model.encode(too_long)
+
+
+class TestModelSemantics:
+    def test_parameter_count_matches_config(self, model):
+        assert model.num_parameters() == BERT_TINY.total_parameters()
+
+    def test_deterministic_given_seed(self, batch):
+        a = BertForPreTraining(BERT_TINY, seed=7, dropout_p=0.0)
+        b = BertForPreTraining(BERT_TINY, seed=7, dropout_p=0.0)
+        np.testing.assert_allclose(a.encode(batch).data,
+                                   b.encode(batch).data)
+
+    def test_different_seeds_differ(self, batch):
+        a = BertForPreTraining(BERT_TINY, seed=1, dropout_p=0.0)
+        b = BertForPreTraining(BERT_TINY, seed=2, dropout_p=0.0)
+        assert not np.allclose(a.encode(batch).data, b.encode(batch).data)
+
+    def test_attention_probs_are_distributions(self, model, batch):
+        attention: MultiHeadSelfAttention = model.encoder.layers()[0].attention
+        hidden = model.embeddings(batch)
+        probs = attention.attention_scores(hidden).data
+        assert probs.shape == (2, BERT_TINY.num_heads, 16, 16)
+        np.testing.assert_allclose(probs.sum(axis=-1),
+                                   np.ones((2, BERT_TINY.num_heads, 16)),
+                                   rtol=1e-5)
+
+    def test_padding_mask_blocks_attention(self, model, batch):
+        mask = np.ones((2, 16), dtype=bool)
+        mask[:, 8:] = False
+        bias = F.attention_mask_bias(mask)
+        attention = model.encoder.layers()[0].attention
+        hidden = model.embeddings(batch)
+        probs = attention.attention_scores(hidden, bias).data
+        # No probability mass on masked (padded) key positions.
+        assert probs[..., 8:].max() < 1e-6
+
+    def test_padding_positions_do_not_affect_valid_outputs(self, model):
+        rng = np.random.default_rng(2)
+        tokens = rng.integers(4, BERT_TINY.vocab_size, size=(1, 16))
+        mask = np.ones((1, 16), dtype=bool)
+        mask[:, 12:] = False
+        base = model.encode(tokens, padding_mask=mask).data[:, :12]
+        tokens2 = tokens.copy()
+        tokens2[:, 12:] = 5  # change only padded positions
+        other = model.encode(tokens2, padding_mask=mask).data[:, :12]
+        np.testing.assert_allclose(base, other, atol=1e-5)
+
+    def test_tied_decoder_weight(self, model):
+        assert (model.heads.mlm._decoder_weight
+                is model.embeddings.token.weight)
+
+    def test_loss_is_finite_and_near_uniform_at_init(self, model, batch):
+        labels = np.full((2, 16), -100)
+        labels[0, 3] = 10
+        labels[1, 5] = 20
+        loss = model.loss(batch, labels, np.array([0, 1]))
+        uniform = np.log(BERT_TINY.vocab_size) + np.log(2)
+        assert 0.5 * uniform < loss.item() < 1.5 * uniform
+
+    def test_backward_populates_all_gradients(self, batch):
+        model = BertForPreTraining(BERT_TINY, seed=3, dropout_p=0.0)
+        labels = np.full((2, 16), -100)
+        labels[:, 4] = 9
+        model.loss(batch, labels, np.array([1, 0])).backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+            assert np.isfinite(param.grad).all(), f"non-finite grad {name}"
+
+
+class TestFullModelGradcheck:
+    def test_loss_gradient_matches_finite_difference(self):
+        """End-to-end gradcheck of the full model on a few coordinates."""
+        from repro.config import BertConfig
+        tiny = BertConfig(num_layers=1, d_model=8, num_heads=2, d_ff=16,
+                          vocab_size=32, max_position=16, name="nano")
+        model = BertForPreTraining(tiny, seed=4, dropout_p=0.0)
+        for param in model.parameters():
+            param.data = param.data.astype(np.float64)
+        rng = np.random.default_rng(5)
+        tokens = rng.integers(4, 32, size=(1, 8))
+        labels = np.full((1, 8), -100)
+        labels[0, 2] = 11
+        nsp = np.array([1])
+
+        def loss_value():
+            return float(model.loss(tokens, labels, nsp).data)
+
+        model.zero_grad()
+        model.loss(tokens, labels, nsp).backward()
+
+        checked = 0
+        eps = 1e-4
+        for name, param in model.named_parameters():
+            if "fc1.weight" in name or "query.weight" in name:
+                index = (0, 0)
+                orig = param.data[index]
+                param.data[index] = orig + eps
+                plus = loss_value()
+                param.data[index] = orig - eps
+                minus = loss_value()
+                param.data[index] = orig
+                numeric = (plus - minus) / (2 * eps)
+                assert param.grad[index] == pytest.approx(numeric, rel=2e-2,
+                                                          abs=1e-6), name
+                checked += 1
+        assert checked == 2

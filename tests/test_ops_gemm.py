@@ -1,0 +1,165 @@
+"""Tests for GEMM shapes: cost math and Table 2b correspondence."""
+
+import pytest
+
+from repro.config import BERT_LARGE, Precision, training_point
+from repro.ops.base import DType
+from repro.ops.gemm import (GemmShape, attention_output_gemms,
+                            attention_score_gemms, linear_layer_gemms)
+from repro.trace.bert_trace import transformer_gemm_shapes
+
+
+class TestGemmShape:
+    def test_flops_counts_two_per_mac(self):
+        shape = GemmShape(m=4, n=5, k=6)
+        assert shape.flops == 2 * 4 * 5 * 6
+
+    def test_batch_multiplies_cost(self):
+        single = GemmShape(m=4, n=5, k=6)
+        batched = GemmShape(m=4, n=5, k=6, batch=7)
+        assert batched.flops == 7 * single.flops
+        assert batched.elements() == 7 * single.elements()
+
+    def test_bytes_accounting_fp32(self):
+        shape = GemmShape(m=2, n=3, k=4)
+        assert shape.bytes_read(DType.FP32) == (2 * 4 + 4 * 3) * 4
+        assert shape.bytes_written(DType.FP32) == 2 * 3 * 4
+
+    def test_accumulate_reads_output(self):
+        base = GemmShape(m=2, n=3, k=4)
+        acc = GemmShape(m=2, n=3, k=4, accumulate=True)
+        assert acc.bytes_read(DType.FP32) == base.bytes_read(DType.FP32) + 24
+
+    def test_fp16_halves_traffic(self):
+        shape = GemmShape(m=8, n=8, k=8)
+        assert shape.bytes_total(DType.FP16) * 2 == shape.bytes_total(DType.FP32)
+
+    def test_intensity_grows_with_square_size(self):
+        small = GemmShape(m=64, n=64, k=64)
+        large = GemmShape(m=1024, n=1024, k=1024)
+        assert (large.arithmetic_intensity(DType.FP32)
+                > small.arithmetic_intensity(DType.FP32))
+
+    def test_label_format_matches_fig6(self):
+        shape = GemmShape(m=128, n=128, k=64, batch=512, transpose_b=True)
+        assert shape.label == "NT,128,128,64,[512]"
+        plain = GemmShape(m=1024, n=4096, k=1024)
+        assert plain.label == "NN,1024,4096,1024"
+
+    def test_transposed_swaps_dims_and_flags(self):
+        shape = GemmShape(m=3, n=5, k=7, transpose_a=True)
+        t = shape.transposed()
+        assert (t.m, t.n, t.k) == (5, 3, 7)
+        assert t.transpose_a is True   # not B -> not transpose_b(False)
+        assert t.transpose_b is False  # not A -> not transpose_a(True)
+        assert t.flops == shape.flops
+
+    @pytest.mark.parametrize("bad", [
+        dict(m=0, n=1, k=1), dict(m=1, n=-1, k=1), dict(m=1, n=1, k=1, batch=0),
+    ])
+    def test_invalid_dims_rejected(self, bad):
+        with pytest.raises(ValueError):
+            GemmShape(**bad)
+
+
+class TestTable2bShapes:
+    """The GEMM shapes must match Table 2b symbol for symbol."""
+
+    @pytest.fixture
+    def dims(self):
+        training = training_point(1, 32, Precision.FP32)
+        return {
+            "d": BERT_LARGE.d_model,
+            "dff": BERT_LARGE.d_ff,
+            "dh": BERT_LARGE.d_head,
+            "nB": training.tokens_per_iteration,
+            "n": training.seq_len,
+            "Bh": training.batch_size * BERT_LARGE.num_heads,
+            "shapes": transformer_gemm_shapes(BERT_LARGE, training),
+        }
+
+    def test_linear_row(self, dims):
+        d, nB = dims["d"], dims["nB"]
+        linear = dims["shapes"]["linear"]
+        assert (linear["fwd"].m, linear["fwd"].n, linear["fwd"].k) == (d, nB, d)
+        assert (linear["bwd_act"].m, linear["bwd_act"].n,
+                linear["bwd_act"].k) == (d, nB, d)
+        assert (linear["bwd_wt"].m, linear["bwd_wt"].n,
+                linear["bwd_wt"].k) == (d, d, nB)
+
+    def test_attention_score_row(self, dims):
+        n, dh, Bh = dims["n"], dims["dh"], dims["Bh"]
+        score = dims["shapes"]["attn_score"]
+        assert (score["fwd"].m, score["fwd"].n, score["fwd"].k) == (n, n, dh)
+        assert score["fwd"].batch == Bh
+        assert (score["bwd_act"].m, score["bwd_act"].n,
+                score["bwd_act"].k) == (n, dh, n)
+        assert (score["bwd_wt"].m, score["bwd_wt"].n,
+                score["bwd_wt"].k) == (dh, n, n)
+
+    def test_attention_output_row(self, dims):
+        n, dh, Bh = dims["n"], dims["dh"], dims["Bh"]
+        out = dims["shapes"]["attn_output"]
+        assert (out["fwd"].m, out["fwd"].n, out["fwd"].k) == (dh, n, n)
+        assert out["fwd"].batch == Bh
+        assert (out["bwd_act"].m, out["bwd_act"].n,
+                out["bwd_act"].k) == (dh, n, n)
+        assert (out["bwd_wt"].m, out["bwd_wt"].n,
+                out["bwd_wt"].k) == (n, n, dh)
+
+    def test_fc_rows(self, dims):
+        d, dff, nB = dims["d"], dims["dff"], dims["nB"]
+        fc1, fc2 = dims["shapes"]["fc1"], dims["shapes"]["fc2"]
+        assert (fc1["fwd"].m, fc1["fwd"].n, fc1["fwd"].k) == (dff, nB, d)
+        assert (fc1["bwd_act"].m, fc1["bwd_act"].n,
+                fc1["bwd_act"].k) == (d, nB, dff)
+        assert (fc1["bwd_wt"].m, fc1["bwd_wt"].n,
+                fc1["bwd_wt"].k) == (d, dff, nB)
+        assert (fc2["fwd"].m, fc2["fwd"].n, fc2["fwd"].k) == (d, nB, dff)
+        assert (fc2["bwd_act"].m, fc2["bwd_act"].n,
+                fc2["bwd_act"].k) == (dff, nB, d)
+        assert (fc2["bwd_wt"].m, fc2["bwd_wt"].n,
+                fc2["bwd_wt"].k) == (dff, d, nB)
+
+    def test_weight_gradients_accumulate(self, dims):
+        for op in ("linear", "fc1", "fc2"):
+            assert dims["shapes"][op]["bwd_wt"].accumulate
+
+    def test_gemm_dims_scale_with_tokens(self):
+        # Takeaway 5: GEMM dims are multiples of B*n and hidden sizes.
+        small = transformer_gemm_shapes(BERT_LARGE,
+                                        training_point(1, 4, Precision.FP32))
+        large = transformer_gemm_shapes(BERT_LARGE,
+                                        training_point(1, 8, Precision.FP32))
+        assert large["linear"]["fwd"].n == 2 * small["linear"]["fwd"].n
+        assert (large["attn_score"]["fwd"].batch
+                == 2 * small["attn_score"]["fwd"].batch)
+
+    def test_slicing_divides_per_device_dims(self):
+        training = training_point(1, 32, Precision.FP32)
+        full = transformer_gemm_shapes(BERT_LARGE, training, slicing=1)
+        half = transformer_gemm_shapes(BERT_LARGE, training, slicing=2)
+        assert half["linear"]["fwd"].m * 2 == full["linear"]["fwd"].m
+        assert half["linear_out"]["fwd"].k * 2 == full["linear_out"]["fwd"].k
+        assert half["fc1"]["fwd"].m * 2 == full["fc1"]["fwd"].m
+        assert (half["attn_score"]["fwd"].batch * 2
+                == full["attn_score"]["fwd"].batch)
+
+    def test_slicing_must_divide_model(self):
+        training = training_point(1, 32, Precision.FP32)
+        with pytest.raises(ValueError):
+            transformer_gemm_shapes(BERT_LARGE, training, slicing=5)
+
+
+class TestShapeConstructors:
+    def test_linear_layer_gemms_flops_balance(self):
+        # Backward has exactly 2x forward FLOPs for a dense layer.
+        shapes = linear_layer_gemms(64, 128, 256)
+        fwd = shapes["fwd"].flops
+        assert shapes["bwd_act"].flops + shapes["bwd_wt"].flops == 2 * fwd
+
+    def test_attention_constructors_flops_balance(self):
+        for ctor in (attention_score_gemms, attention_output_gemms):
+            shapes = ctor(128, 64, 512)
+            assert (shapes["bwd_act"].flops + shapes["bwd_wt"].flops
+                    == 2 * shapes["fwd"].flops)

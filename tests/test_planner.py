@@ -1,0 +1,80 @@
+"""Tests for the (TS x PP x DP) parallelism planner."""
+
+import pytest
+
+from repro.config import (BERT_LARGE, BertConfig, Precision, training_point)
+from repro.distributed import (PCIE4, XGMI, evaluate_layout, plan,
+                               render_plan)
+from repro.hw import mi100
+
+
+@pytest.fixture(scope="module")
+def device():
+    return mi100()
+
+
+@pytest.fixture(scope="module")
+def b32():
+    return training_point(1, 32, Precision.FP32)
+
+
+class TestPlanner:
+    @pytest.fixture(scope="class")
+    def layouts(self, device, b32):
+        return plan(BERT_LARGE, b32, device, devices=64,
+                    intra_link=XGMI, inter_link=PCIE4)
+
+    def test_every_factorization_covers_64(self, layouts):
+        assert layouts
+        for layout in layouts:
+            assert layout.devices == 64
+
+    def test_sorted_by_throughput(self, layouts, b32):
+        feasible = [l for l in layouts if l.feasible]
+        throughputs = [l.throughput(b32.tokens_per_iteration)
+                       for l in feasible]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_pure_dp_wins_when_memory_fits(self, layouts):
+        """Replication maximizes throughput whenever the model fits one
+        device — model parallelism exists for memory/latency, not
+        throughput."""
+        best = layouts[0]
+        assert (best.ts_ways, best.pp_stages) == (1, 1)
+        assert best.dp_replicas == 64
+
+    def test_model_parallel_layouts_have_lower_latency(self, layouts):
+        pure_dp = next(l for l in layouts if l.ts_ways == 1
+                       and l.pp_stages == 1)
+        heavy_mp = next(l for l in layouts if l.ts_ways * l.pp_stages >= 16)
+        assert heavy_mp.iteration_s < pure_dp.iteration_s
+
+    def test_big_model_requires_model_parallelism(self, device):
+        """A 6.7B-parameter model cannot run TS1xPP1 on 32 GB; the planner
+        must mark pure DP infeasible and find a model-parallel layout."""
+        big = BertConfig(num_layers=32, d_model=4096, num_heads=32,
+                         d_ff=16384, name="6.7b")
+        training = training_point(1, 8, Precision.FP32)
+        layouts = plan(big, training, device, devices=64,
+                       intra_link=XGMI, inter_link=PCIE4)
+        pure_dp = next(l for l in layouts if l.ts_ways == 1
+                       and l.pp_stages == 1)
+        assert not pure_dp.feasible
+        best = layouts[0]
+        assert best.feasible
+        assert best.ts_ways * best.pp_stages > 1
+
+    def test_indivisible_layout_marked(self, device, b32):
+        layout = evaluate_layout(BERT_LARGE, b32, device, ts_ways=8,
+                                 pp_stages=5, dp_replicas=1,
+                                 intra_link=XGMI, inter_link=PCIE4)
+        assert not layout.feasible and layout.iteration_s is None
+
+    def test_render(self, layouts, b32):
+        out = render_plan(layouts, b32.tokens_per_iteration)
+        assert "TS1 x PP1 x DP64" in out and "tok/s" in out
+
+    def test_invalid_device_count(self, device, b32):
+        with pytest.raises(ValueError):
+            plan(BERT_LARGE, b32, device, devices=0, intra_link=XGMI,
+                 inter_link=PCIE4)

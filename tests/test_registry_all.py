@@ -1,0 +1,42 @@
+"""End-to-end smoke: every registered experiment runs and renders."""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", sorted(REGISTRY))
+def test_experiment_runs_and_renders(experiment_id):
+    output = run_experiment(experiment_id)
+    assert isinstance(output, str)
+    assert len(output.strip()) > 20
+    # Rendered tables/bars always carry multiple lines.
+    assert "\n" in output
+
+
+def test_registry_descriptions_unique_and_present():
+    descriptions = [e.description for e in REGISTRY.values()]
+    assert all(descriptions)
+    assert len(set(descriptions)) == len(descriptions)
+
+
+def test_cli_run_all(capsys):
+    from repro.cli import main
+    assert main(["run", "all"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in REGISTRY:
+        assert f"{experiment_id}:" in out
+
+
+def test_cli_export(tmp_path, capsys):
+    from repro.cli import main
+    path = str(tmp_path / "fig3.csv")
+    assert main(["export", "fig3", path]) == 0
+    with open(path) as handle:
+        header = handle.readline()
+    assert header.startswith("label,")
+
+
+def test_cli_export_rejects_non_row_experiment(tmp_path, capsys):
+    from repro.cli import main
+    assert main(["export", "fig4", str(tmp_path / "x.csv")]) == 2

@@ -1,0 +1,115 @@
+"""Robustness-study tests, checkpoint-resume determinism, and doctests."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+from repro.config import BERT_TINY
+from repro.data import MarkovCorpus, PreTrainingDataset, Vocab
+from repro.experiments import robustness
+from repro.model import BertForPreTraining
+from repro.optim import Adam, Lamb
+from repro.train import Trainer, load_checkpoint, save_checkpoint
+
+
+class TestRobustnessStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return robustness.run()
+
+    def test_baseline_row_first(self, rows):
+        assert rows[0].label == "baseline"
+        assert rows[0].all_hold
+
+    def test_every_perturbation_checked(self, rows):
+        assert len(rows) == 1 + len(robustness.PERTURBATIONS)
+        for row in rows:
+            assert set(row.results) == set(robustness.CLAIMS)
+
+    def test_all_conclusions_robust(self, rows):
+        """The headline: no paper conclusion hinges on a single calibration
+        constant."""
+        failing = [(row.label, claim)
+                   for row in rows
+                   for claim, held in row.results.items() if not held]
+        assert not failing, failing
+
+    def test_render(self, rows):
+        out = robustness.render(rows)
+        assert "baseline" in out and "launch overhead x2" in out
+
+
+class TestResumeDeterminism:
+    """Saving mid-run and resuming must reproduce the uninterrupted run."""
+
+    def _dataset(self):
+        vocab = Vocab(size=BERT_TINY.vocab_size)
+        return PreTrainingDataset(vocab, MarkovCorpus(vocab, seed=0),
+                                  seq_len=16, seed=7)
+
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (Adam, {"lr": 1e-3}),
+        (Lamb, {"lr": 1e-2, "clip_global_norm": None}),
+    ])
+    def test_resume_matches_uninterrupted(self, tmp_path, optimizer_cls,
+                                          kwargs):
+        # Fixed batches so both runs consume identical data.
+        batches = list(self._dataset().batches(4, 6))
+
+        # Uninterrupted: 6 steps straight.
+        model_a = BertForPreTraining(BERT_TINY, seed=3, dropout_p=0.0)
+        opt_a = optimizer_cls(model_a.parameters(), **kwargs)
+        trainer_a = Trainer(model_a, opt_a, self._dataset())
+        for batch in batches:
+            trainer_a.train_step(batch)
+
+        # Interrupted: 3 steps, checkpoint, fresh objects, 3 more steps.
+        model_b = BertForPreTraining(BERT_TINY, seed=3, dropout_p=0.0)
+        opt_b = optimizer_cls(model_b.parameters(), **kwargs)
+        trainer_b = Trainer(model_b, opt_b, self._dataset())
+        for batch in batches[:3]:
+            trainer_b.train_step(batch)
+        path = str(tmp_path / "mid.npz")
+        save_checkpoint(path, model_b, opt_b)
+
+        model_c = BertForPreTraining(BERT_TINY, seed=99, dropout_p=0.0)
+        opt_c = optimizer_cls(model_c.parameters(), **kwargs)
+        load_checkpoint(path, model_c, opt_c)
+        trainer_c = Trainer(model_c, opt_c, self._dataset())
+        for batch in batches[3:]:
+            trainer_c.train_step(batch)
+
+        for (name, pa), (_, pc) in zip(model_a.named_parameters(),
+                                       model_c.named_parameters()):
+            np.testing.assert_allclose(pa.data, pc.data, rtol=1e-6,
+                                       atol=1e-7, err_msg=name)
+
+    def test_resume_restores_step_count_for_bias_correction(self, tmp_path):
+        """Adam's bias correction depends on the step count; a resume that
+        reset it would take visibly different steps."""
+        model = BertForPreTraining(BERT_TINY, seed=4, dropout_p=0.0)
+        opt = Adam(model.parameters(), lr=1e-3)
+        trainer = Trainer(model, opt, self._dataset())
+        for batch in self._dataset().batches(4, 5):
+            trainer.train_step(batch)
+        path = str(tmp_path / "s.npz")
+        save_checkpoint(path, model, opt)
+        fresh = Adam(BertForPreTraining(BERT_TINY, seed=4).parameters(),
+                     lr=1e-3)
+        load_checkpoint(path,
+                        BertForPreTraining(BERT_TINY, seed=4,
+                                           dropout_p=0.0), fresh)
+        assert fresh.step_count == 5
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module_name", [
+        "repro.model.bert",
+        "repro.config",
+    ])
+    def test_module_doctests(self, module_name):
+        import importlib
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0

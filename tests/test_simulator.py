@@ -1,0 +1,110 @@
+"""Tests for the step-event collective simulator."""
+
+import math
+
+import pytest
+
+from repro.distributed import (LinkSpec, ring_allreduce_time,
+                               simulate_hierarchical_allreduce,
+                               simulate_ring_allreduce,
+                               simulate_tree_allreduce)
+
+LINK = LinkSpec(name="test", bandwidth_gbps=10.0, latency_us=2.0)
+FAST = LinkSpec(name="fast", bandwidth_gbps=100.0, latency_us=1.0)
+
+
+class TestRingSimulation:
+    @pytest.mark.parametrize("devices", [2, 3, 4, 8, 16])
+    def test_matches_closed_form(self, devices):
+        """The event simulation must land exactly on the analytic ring
+        AllReduce cost used throughout the distributed models."""
+        payload = 64 << 20
+        run = simulate_ring_allreduce(payload, devices, LINK)
+        assert run.completion_s == pytest.approx(
+            ring_allreduce_time(payload, devices, LINK), rel=1e-9)
+
+    def test_event_structure(self):
+        devices, payload = 4, 4 << 20
+        run = simulate_ring_allreduce(payload, devices, LINK)
+        # 2*(D-1) steps, one transfer per device per step.
+        assert len(run.events) == 2 * (devices - 1) * devices
+        steps = {e.step for e in run.events}
+        assert steps == set(range(2 * (devices - 1)))
+        # Ring wiring: rank -> rank+1 mod D.
+        for event in run.events:
+            assert event.destination == (event.source + 1) % devices
+            assert event.end_s > event.start_s
+
+    def test_wire_traffic(self):
+        devices, payload = 8, 8 << 20
+        run = simulate_ring_allreduce(payload, devices, LINK)
+        expected = 2 * (devices - 1) * payload  # D chunks of size P/D/step
+        assert run.total_bytes_on_wire == pytest.approx(expected, rel=0.01)
+
+    def test_single_device_noop(self):
+        run = simulate_ring_allreduce(1 << 20, 1, LINK)
+        assert run.completion_s == 0.0 and not run.events
+
+    def test_invalid_devices(self):
+        with pytest.raises(ValueError):
+            simulate_ring_allreduce(1, 0, LINK)
+
+
+class TestTreeSimulation:
+    def test_round_count_logarithmic(self):
+        for devices in (2, 4, 8, 16, 32):
+            run = simulate_tree_allreduce(1 << 20, devices, LINK)
+            rounds = max(e.step for e in run.events) + 1
+            assert rounds == 2 * math.ceil(math.log2(devices))
+
+    def test_tree_beats_ring_for_small_payloads(self):
+        # Latency-bound regime: 2 log D hops < 2 (D-1) hops.
+        devices, payload = 32, 512
+        tree = simulate_tree_allreduce(payload, devices, LINK)
+        ring = simulate_ring_allreduce(payload, devices, LINK)
+        assert tree.completion_s < ring.completion_s
+
+    def test_ring_beats_tree_for_large_payloads(self):
+        # Bandwidth-bound regime: the ring moves P/D per step.
+        devices, payload = 8, 1 << 30
+        tree = simulate_tree_allreduce(payload, devices, LINK)
+        ring = simulate_ring_allreduce(payload, devices, LINK)
+        assert ring.completion_s < tree.completion_s
+
+    def test_non_power_of_two(self):
+        run = simulate_tree_allreduce(1 << 20, 5, LINK)
+        assert run.completion_s > 0
+        participants = ({e.source for e in run.events}
+                        | {e.destination for e in run.events})
+        assert participants == set(range(5))
+
+
+class TestHierarchicalSimulation:
+    def test_faster_than_flat_ring_on_slow_link(self):
+        """Topology-aware layout: reduce within the node on the fast link,
+        cross nodes with only one rank per node."""
+        payload = 256 << 20
+        flat = simulate_ring_allreduce(payload, 16, LINK)
+        hier = simulate_hierarchical_allreduce(
+            payload, nodes=2, devices_per_node=8,
+            intra_link=FAST, inter_link=LINK)
+        assert hier.completion_s < flat.completion_s
+        assert hier.devices == 16
+
+    def test_single_node_reduces_to_intra_ring(self):
+        payload = 16 << 20
+        hier = simulate_hierarchical_allreduce(
+            payload, nodes=1, devices_per_node=4,
+            intra_link=FAST, inter_link=LINK)
+        intra = simulate_ring_allreduce(payload, 4, FAST)
+        # One extra full-payload broadcast hop on top of the intra ring
+        # (the ring itself moves 2*(D-1)/D payloads, so the hop adds less
+        # than another ring's worth).
+        assert hier.completion_s > intra.completion_s
+        assert hier.completion_s < 2.0 * intra.completion_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_hierarchical_allreduce(1, nodes=0, devices_per_node=1,
+                                            intra_link=FAST,
+                                            inter_link=LINK)

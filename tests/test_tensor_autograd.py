@@ -1,0 +1,177 @@
+"""Gradient correctness of the autograd engine (vs. finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.tensor import Tensor, ones, tensor, zeros
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(x)
+        flat[i] = orig - eps
+        minus = fn(x)
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_grad(op, shape_a, shape_b=None, seed=0, rtol=1e-4):
+    """Compare autograd and numeric gradients of ``sum(op(a[, b]))``."""
+    rng = np.random.default_rng(seed)
+    a_data = rng.normal(size=shape_a).astype(np.float64) + 0.5
+    args = [a_data]
+    if shape_b is not None:
+        args.append(rng.normal(size=shape_b).astype(np.float64) + 0.5)
+
+    tensors = [Tensor(arg.copy(), requires_grad=True) for arg in args]
+    out = op(*tensors)
+    out.sum().backward()
+
+    for index, arg in enumerate(args):
+        def scalar(x, index=index):
+            probe = [Tensor(v.copy()) for v in args]
+            probe[index] = Tensor(x)
+            return float(op(*probe).sum().data)
+        numeric = numeric_grad(scalar, arg.copy())
+        np.testing.assert_allclose(tensors[index].grad, numeric, rtol=rtol,
+                                   atol=1e-6)
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_grad(lambda a, b: a + b, (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: a + b, (3, 4), (4,))
+
+    def test_mul(self):
+        check_grad(lambda a, b: a * b, (3, 4), (3, 4))
+
+    def test_mul_broadcast_rows(self):
+        check_grad(lambda a, b: a * b, (3, 4), (3, 1))
+
+    def test_sub_and_neg(self):
+        check_grad(lambda a, b: a - b, (2, 5), (2, 5))
+
+    def test_div(self):
+        check_grad(lambda a, b: a / (b * b + 1.0), (3, 3), (3, 3))
+
+    def test_pow(self):
+        check_grad(lambda a: (a * a + 1.0) ** 1.5, (4,))
+
+    def test_scalar_operand(self):
+        check_grad(lambda a: 3.0 * a + 2.0 - a / 4.0, (5,))
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self):
+        check_grad(lambda a, b: a.matmul(b), (3, 4), (4, 5))
+
+    def test_matmul_batched(self):
+        check_grad(lambda a, b: a.matmul(b), (2, 3, 4), (2, 4, 5))
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(3), requires_grad=True)
+        b = Tensor(np.ones((3, 3)))
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, 3 * np.ones((3, 3)))
+
+
+class TestUnaryGradients:
+    @pytest.mark.parametrize("op", ["exp", "log", "sqrt", "tanh", "erf"])
+    def test_unary(self, op):
+        check_grad(lambda a: getattr(a * 0.5 + 1.5, op)(), (3, 4))
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_grad(lambda a: a.sum() * 2.0, (3, 4))
+
+    def test_sum_axis(self):
+        check_grad(lambda a: (a.sum(axis=0) ** 2.0), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda a: a * a.sum(axis=1, keepdims=True), (3, 4))
+
+    def test_mean(self):
+        check_grad(lambda a: (a.mean(axis=-1, keepdims=True) - a) ** 2.0,
+                   (4, 6))
+
+    def test_max(self):
+        rng = np.random.default_rng(3)
+        data = rng.permutation(12).astype(np.float64).reshape(3, 4)
+        x = Tensor(data, requires_grad=True)
+        x.max(axis=1).sum().backward()
+        expected = (data == data.max(axis=1, keepdims=True)).astype(float)
+        np.testing.assert_allclose(x.grad, expected)
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        check_grad(lambda a: (a.reshape(2, 6) ** 2.0), (3, 4))
+
+    def test_transpose(self):
+        check_grad(lambda a: a.transpose(1, 0) * 2.0, (3, 4))
+
+    def test_transpose_4d(self):
+        check_grad(lambda a: a.transpose(0, 2, 1, 3) ** 2.0, (2, 3, 4, 5))
+
+    def test_getitem(self):
+        check_grad(lambda a: a[1:, :2] * 3.0, (3, 4))
+
+
+class TestEngineMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0 + x * 3.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, 5 * np.ones(3))
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a * b).backward()  # d/dx 12x^2 = 24x = 48
+        np.testing.assert_allclose(x.grad, [48.0])
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * x).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_tracking_for_constants(self):
+        a = Tensor(np.ones(2))
+        b = Tensor(np.ones(2))
+        assert not (a + b).requires_grad
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative topological sort: thousands of nodes must not overflow.
+        x = Tensor(np.ones(1), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_constructors(self):
+        assert zeros((2, 3)).shape == (2, 3)
+        assert ones((2,)).data.sum() == 2.0
+        t = tensor([1.0, 2.0], requires_grad=True, name="t")
+        assert t.requires_grad and t.name == "t"

@@ -1,0 +1,183 @@
+"""Tests for NN functional ops: values and gradients."""
+
+import numpy as np
+import pytest
+from scipy.special import erf as scipy_erf
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+from tests.test_tensor_autograd import check_grad, numeric_grad
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        out = F.softmax(x).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5), rtol=1e-6)
+        assert (out > 0).all()
+
+    def test_numerically_stable_at_large_values(self):
+        x = Tensor(np.array([[1e4, 1e4 + 1.0]]))
+        out = F.softmax(x).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-6)
+
+    def test_gradient(self):
+        check_grad(lambda a: F.softmax(a, axis=-1) ** 2.0, (3, 5))
+
+    def test_log_softmax_consistency(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 6)))
+        np.testing.assert_allclose(np.exp(F.log_softmax(x).data),
+                                   F.softmax(x).data, rtol=1e-6)
+
+    def test_log_softmax_gradient(self):
+        check_grad(lambda a: F.log_softmax(a, axis=-1) * 0.5, (3, 5))
+
+
+class TestGelu:
+    def test_matches_paper_equation(self):
+        # Eq. (1): GELU(x) = x * 0.5 * (1 + erf(x / sqrt(2))).
+        x = np.linspace(-3, 3, 13)
+        expected = x * 0.5 * (1.0 + scipy_erf(x / np.sqrt(2.0)))
+        np.testing.assert_allclose(F.gelu(Tensor(x)).data, expected,
+                                   rtol=1e-6)
+
+    def test_known_values(self):
+        out = F.gelu(Tensor(np.array([0.0, 100.0, -100.0]))).data
+        np.testing.assert_allclose(out, [0.0, 100.0, 0.0], atol=1e-6)
+
+    def test_gradient(self):
+        check_grad(lambda a: F.gelu(a), (7,))
+
+
+class TestLayerNorm:
+    def test_output_statistics(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(3.0, 5.0, size=(6, 32)))
+        gain = Tensor(np.ones(32))
+        bias = Tensor(np.zeros(32))
+        out = F.layer_norm(x, gain, bias).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(6), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(6), rtol=1e-3)
+
+    def test_gain_bias_applied(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(4, 8)))
+        out = F.layer_norm(x, Tensor(2.0 * np.ones(8)),
+                           Tensor(7.0 * np.ones(8))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 7.0 * np.ones(4),
+                                   atol=1e-5)
+
+    def test_gradient(self):
+        def op(a, g, b):
+            return F.layer_norm(a, g, b) ** 2.0
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(3, 6))
+        g = rng.normal(size=6) + 1.0
+        b = rng.normal(size=6)
+        ts = [Tensor(v.copy(), requires_grad=True) for v in (a, g, b)]
+        op(*ts).sum().backward()
+        for index, arr in enumerate((a, g, b)):
+            def scalar(x, index=index):
+                probe = [Tensor(v.copy()) for v in (a, g, b)]
+                probe[index] = Tensor(x)
+                return float(op(*probe).sum().data)
+            np.testing.assert_allclose(ts[index].grad,
+                                       numeric_grad(scalar, arr.copy()),
+                                       rtol=1e-4, atol=1e-6)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_keeps_expectation(self):
+        rng = np.random.default_rng(5)
+        x = Tensor(np.ones(200_000))
+        out = F.dropout(x, 0.3, rng).data
+        assert out.mean() == pytest.approx(1.0, rel=0.02)
+
+    def test_zeroed_fraction(self):
+        rng = np.random.default_rng(6)
+        out = F.dropout(Tensor(np.ones(100_000)), 0.25, rng).data
+        assert (out == 0).mean() == pytest.approx(0.25, rel=0.05)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+    def test_gradient_masks_match_forward(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = F.dropout(x, 0.5, rng)
+        out.sum().backward()
+        # Gradient is the same scaled mask applied forward.
+        np.testing.assert_allclose(x.grad, out.data)
+
+
+class TestEmbeddingAndLosses:
+    def test_embedding_gathers_rows(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = F.embedding(table, np.array([[1, 3], [0, 1]]))
+        np.testing.assert_allclose(out.data[0, 1], [9.0, 10.0, 11.0])
+
+    def test_embedding_scatter_add_backward(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        out = F.embedding(table, np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(table.grad,
+                                   [[0, 0], [2, 2], [1, 1], [0, 0]])
+
+    def test_cross_entropy_uniform_baseline(self):
+        # Uniform logits -> loss = log(classes).
+        logits = Tensor(np.zeros((8, 16)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.zeros(8, dtype=int))
+        assert loss.item() == pytest.approx(np.log(16), rel=1e-6)
+
+    def test_cross_entropy_ignore_index(self):
+        logits = Tensor(np.zeros((4, 8)), requires_grad=True)
+        targets = np.array([0, -100, 2, -100])
+        loss = F.cross_entropy(logits, targets, ignore_index=-100)
+        assert loss.item() == pytest.approx(np.log(8), rel=1e-6)
+        loss.backward()
+        # Ignored rows receive zero gradient.
+        np.testing.assert_allclose(logits.grad[1], np.zeros(8))
+        assert np.abs(logits.grad[0]).sum() > 0
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.full((2, 4), -100.0)
+        logits[0, 1] = logits[1, 2] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2, int))
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(8)
+        data = rng.normal(size=(5, 7))
+        targets = rng.integers(0, 7, size=5)
+        x = Tensor(data.copy(), requires_grad=True)
+        F.cross_entropy(x, targets).backward()
+
+        def scalar(v):
+            return float(F.cross_entropy(Tensor(v), targets).data)
+        np.testing.assert_allclose(x.grad, numeric_grad(scalar, data.copy()),
+                                   rtol=1e-4, atol=1e-7)
+
+    def test_masked_fill(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        out = F.masked_fill(x, mask, -9.0)
+        np.testing.assert_allclose(out.data, [[-9, 1], [1, -9]])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, (~mask).astype(float))
+
+    def test_attention_mask_bias_shape_and_values(self):
+        mask = np.array([[True, True, False]])
+        bias = F.attention_mask_bias(mask)
+        assert bias.shape == (1, 1, 1, 3)
+        assert bias[0, 0, 0, 2] < -1e8 and bias[0, 0, 0, 0] == 0.0

@@ -1,0 +1,106 @@
+"""Tests for the Module/Parameter layer system."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.module import (Dropout, Embedding, LayerNorm, Linear,
+                                 Module, Parameter)
+from repro.tensor.tensor import Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.first = Linear(4, 8, rng=rng)
+        self.second = Linear(8, 2, rng=rng)
+        self.scale = Parameter(np.ones(1), name="scale")
+
+    def forward(self, x):
+        return self.second(self.first(x)) * self.scale
+
+
+class TestModuleSystem:
+    def test_named_parameters_qualified(self):
+        names = dict(TwoLayer().named_parameters())
+        assert "first.weight" in names and "second.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == (8 * 4 + 8) + (2 * 8 + 2) + 1
+
+    def test_zero_grad_clears(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((3, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.first.training
+        model.train()
+        assert model.second.training
+
+    def test_state_dict_roundtrip(self):
+        source, target = TwoLayer(), TwoLayer()
+        source.first.weight.data[:] = 7.0
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(target.first.weight.data, 7.0)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][:] = -1.0
+        assert not (model.first.weight.data == -1.0).any()
+
+    def test_load_state_dict_strict(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+        bad = model.state_dict()
+        bad["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+
+
+class TestLayers:
+    def test_linear_shapes_and_bias(self):
+        layer = Linear(4, 6, rng=np.random.default_rng(1))
+        layer.bias.data[:] = 5.0
+        out = layer(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 6)
+        np.testing.assert_allclose(out.data, 5.0)
+
+    def test_linear_init_is_truncated(self):
+        layer = Linear(256, 256, rng=np.random.default_rng(2), init_std=0.02)
+        assert np.abs(layer.weight.data).max() <= 0.04 + 1e-9
+        # Truncation at 2 sigma shrinks the std to ~0.88 sigma.
+        assert layer.weight.data.std() == pytest.approx(0.0176, rel=0.1)
+
+    def test_layernorm_normalizes(self):
+        layer = LayerNorm(16)
+        x = Tensor(np.random.default_rng(3).normal(2.0, 3.0, size=(5, 16)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(5), atol=1e-5)
+
+    def test_dropout_respects_training_mode(self):
+        layer = Dropout(0.9, np.random.default_rng(4))
+        layer.eval()
+        x = Tensor(np.ones((2, 2)))
+        assert layer(x) is x
+
+    def test_dropout_validates_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5, np.random.default_rng(0))
+
+    def test_embedding_lookup(self):
+        layer = Embedding(10, 4, rng=np.random.default_rng(5))
+        out = layer(np.array([[0, 9]]))
+        assert out.shape == (1, 2, 4)
+        np.testing.assert_allclose(out.data[0, 1], layer.weight.data[9])

@@ -1,0 +1,96 @@
+"""Tests for the Sec. 7 cross-device transferability claims."""
+
+import pytest
+
+from repro.config import BERT_LARGE, Precision, training_point
+from repro.experiments import transfer_study
+from repro.hw import a100_like, balanced_accelerator, mi100, v100_like
+from repro.ops.base import DType, Region
+from repro.profiler.breakdown import region_breakdown, summarize
+from repro.profiler.profiler import profile_trace
+from repro.trace import build_iteration_trace
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return (mi100(), v100_like(), a100_like())
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_iteration_trace(BERT_LARGE,
+                                 training_point(1, 32, Precision.FP32))
+
+
+class TestDevicePresets:
+    def test_published_numbers(self):
+        v100 = v100_like()
+        assert v100.mem_bandwidth_gbps == 900.0
+        assert v100.compute_units == 80
+        a100 = a100_like()
+        assert a100.mem_bandwidth_gbps == 1555.0
+
+    def test_balance_ordering(self, devices):
+        balances = [d.machine_balance(DType.FP32) for d in devices]
+        assert balances[1] < balances[0] < balances[2]  # V100 < MI100 < A100
+
+
+class TestTransferability:
+    def test_qualitative_orderings_hold_everywhere(self, devices, trace):
+        """The architecture-agnostic takeaways must hold on every device:
+        Transformer dominates, FC region beats linear beats attention
+        B-GEMMs, embedding negligible."""
+        for device in devices:
+            profile = profile_trace(trace.kernels, device)
+            stats = summarize(profile)
+            regions = region_breakdown(profile)
+            assert stats["transformer"] > 0.7, device.name
+            assert stats["embedding"] < 0.02, device.name
+            assert (regions[Region.FC_GEMM].fraction
+                    > regions[Region.ATTENTION_LINEAR].fraction
+                    > regions[Region.ATTENTION_BGEMM].fraction), device.name
+
+    def test_memory_bound_share_tracks_machine_balance(self, devices,
+                                                       trace):
+        """Sec. 7: as compute outpaces bandwidth, memory-bound operations'
+        share grows monotonically."""
+        rows = sorted(
+            ((d.machine_balance(DType.FP32),
+              summarize(profile_trace(trace.kernels, d))["non_gemm"])
+             for d in devices))
+        shares = [share for _, share in rows]
+        assert shares == sorted(shares)
+
+    def test_takeaway_amplified_on_future_device(self, trace):
+        """A compute-rich future device amplifies the memory-bound share
+        (the paper's 'hold or be amplified' claim for Takeaways 7-9)."""
+        today = summarize(profile_trace(trace.kernels, mi100()))
+        future_device = balanced_accelerator(46.1 * 4, 1228.8,
+                                             name="4x-compute")
+        future = summarize(profile_trace(trace.kernels, future_device))
+        assert future["non_gemm"] > today["non_gemm"]
+        assert future["optimizer"] > today["optimizer"]
+
+    def test_lamb_small_batch_dominance_everywhere(self, devices):
+        """Takeaway 1 is architecture-agnostic: LAMB is the second-highest
+        contributor at B=4 on every device."""
+        small = build_iteration_trace(BERT_LARGE,
+                                      training_point(1, 4, Precision.FP32))
+        for device in devices:
+            stats = summarize(profile_trace(small.kernels, device))
+            assert stats["optimizer"] > stats["output"], device.name
+            assert stats["optimizer"] > 0.10, device.name
+
+
+class TestTransferExperiment:
+    def test_rows_and_render(self):
+        rows = transfer_study.run()
+        assert {r.device_name for r in rows} == {"mi100", "v100-like",
+                                                 "a100-like"}
+        out = transfer_study.render(rows)
+        assert "balance" in out and "mi100" in out
+
+    def test_iteration_time_scales_with_hardware(self):
+        rows = {r.device_name: r for r in transfer_study.run()}
+        assert (rows["a100-like"].iteration_s < rows["mi100"].iteration_s
+                < rows["v100-like"].iteration_s)
