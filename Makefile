@@ -1,7 +1,7 @@
 # Convenience targets. Everything works offline (NumPy is the only
 # runtime dependency; pytest/pytest-benchmark/hypothesis/scipy for tests).
 
-.PHONY: install test bench experiments examples lint all
+.PHONY: install test bench experiments examples lint verify all
 
 install:
 	python setup.py develop
@@ -14,6 +14,12 @@ bench:
 
 experiments:
 	python -m repro run all
+
+# Tier-1 gate: the full test suite plus a parallel end-to-end smoke of
+# every registered experiment (exercises the runner, cache and manifest).
+verify:
+	PYTHONPATH=src python -m pytest tests/ -x -q
+	PYTHONPATH=src python -m repro run all --jobs 2
 
 examples:
 	python examples/quickstart.py

@@ -4,8 +4,14 @@ Usage::
 
     python -m repro list
     python -m repro run fig3
-    python -m repro run all
+    python -m repro run all --jobs 4
+    python -m repro report
+    python -m repro cache info
     python -m repro info
+
+Every ``run`` writes a JSON manifest under ``runs/`` recording
+per-experiment wall-clock, cache hits/misses, kernel counts and
+paper-band verdicts; ``repro report`` summarizes the most recent one.
 """
 
 from __future__ import annotations
@@ -25,33 +31,128 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id, e.g. fig3, or 'all'")
+    run.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                     help="worker processes for batch runs (default 1)")
+    run.add_argument("--fresh", action="store_true",
+                     help="recompute even if a cached result exists")
+    run.add_argument("--no-manifest", action="store_true",
+                     help="skip writing the runs/<timestamp>.json manifest")
 
     export = commands.add_parser(
         "export", help="run an experiment and write its rows as CSV")
     export.add_argument("experiment", help="experiment id, e.g. fig3")
     export.add_argument("path", help="destination CSV file")
 
+    report = commands.add_parser(
+        "report", help="summarize the most recent run manifest")
+    report.add_argument("--run", metavar="PATH", default=None,
+                        help="manifest file (default: latest under runs/)")
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="'info' prints location/size, 'clear' empties it")
+
     commands.add_parser("info", help="model/device summary")
     return parser
 
 
 def _cmd_list() -> int:
-    from repro.experiments import REGISTRY
+    from repro.experiments.registry import REGISTRY
 
+    if not REGISTRY:
+        print("no experiments registered")
+        return 0
     width = max(len(eid) for eid in REGISTRY)
     for eid, experiment in REGISTRY.items():
         print(f"{eid.ljust(width)}  {experiment.description}")
     return 0
 
 
-def _cmd_run(experiment_id: str) -> int:
-    from repro.experiments import REGISTRY, run_experiment
+def _cmd_run(experiment_id: str, jobs: int, write_manifest: bool,
+             fresh: bool) -> int:
+    from repro.experiments.registry import REGISTRY
+    from repro.runner import cache as result_cache
+    from repro.runner.executor import run_experiments
+    from repro.runner.manifest import build_manifest
+    from repro.runner.manifest import write_manifest as write_manifest_file
 
-    ids = list(REGISTRY) if experiment_id == "all" else [experiment_id]
-    for eid in ids:
-        title = f"{eid}: {REGISTRY[eid].description}" if eid in REGISTRY else eid
+    if experiment_id == "all":
+        ids = list(REGISTRY)
+    elif experiment_id in REGISTRY:
+        ids = [experiment_id]
+    else:
+        print(f"unknown experiment {experiment_id!r}", file=sys.stderr)
+        print(f"valid ids: {', '.join(sorted(REGISTRY))} (or 'all')",
+              file=sys.stderr)
+        return 2
+
+    results = run_experiments(ids, jobs=jobs, use_result_cache=not fresh)
+
+    # stdout carries only deterministic content (experiment reports and
+    # pass/fail identities), so two invocations of the same tree diff
+    # clean; timings and the manifest path go to stderr.
+    for result in results:
+        title = f"{result.experiment_id}: " \
+                f"{REGISTRY[result.experiment_id].description}"
         print(f"\n{title}\n{'-' * len(title)}")
-        print(run_experiment(eid))
+        if result.ok:
+            print(result.output)
+        else:
+            print("FAILED")
+            print(f"{result.experiment_id} failed after "
+                  f"{result.duration_s:.2f}s:\n{result.error}",
+                  file=sys.stderr)
+
+    failures = [r.experiment_id for r in results if not r.ok]
+    if len(results) > 1 or failures:
+        total = sum(r.duration_s for r in results)
+        print(f"\n{len(results) - len(failures)}/{len(results)} experiments "
+              f"succeeded"
+              + (f"; FAILED: {', '.join(failures)}" if failures else ""))
+        print(f"total wall-clock: {total:.2f}s", file=sys.stderr)
+
+    if write_manifest:
+        active_cache = result_cache.get_cache()
+        manifest = build_manifest(
+            results, jobs=jobs, command=f"run {experiment_id}",
+            cache_stats=active_cache.stats,
+            cache_dir=str(active_cache.root))
+        path = write_manifest_file(manifest)
+        print(f"manifest: {path}", file=sys.stderr)
+
+    return 1 if failures else 0
+
+
+def _cmd_report(run_path: str | None) -> int:
+    from pathlib import Path
+
+    from repro.runner.manifest import (latest_manifest_path, load_manifest,
+                                       render_manifest, runs_dir)
+
+    path = Path(run_path) if run_path else latest_manifest_path()
+    if path is None or not path.is_file():
+        where = run_path if run_path else f"{runs_dir()}/"
+        print(f"no run manifest found at {where}; "
+              "run `repro run all` first", file=sys.stderr)
+        return 1
+    print(render_manifest(load_manifest(path)))
+    return 0
+
+
+def _cmd_cache(action: str) -> int:
+    from repro.runner.cache import get_cache
+
+    cache = get_cache()
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"cache directory: {cache.root}")
+    print(f"entries: {len(entries)}")
+    print(f"size: {cache.size_bytes() / 1e6:.2f} MB")
+    print("clear with `repro cache clear` (or delete the directory)")
     return 0
 
 
@@ -79,15 +180,24 @@ def _cmd_info() -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro report | head`): exit
+        # quietly like any well-behaved CLI.  Point stdout at devnull so
+        # interpreter-shutdown flushing doesn't raise again.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        try:
-            return _cmd_run(args.experiment)
-        except KeyError as error:
-            print(error.args[0], file=sys.stderr)
-            return 2
+        return _cmd_run(args.experiment, jobs=args.jobs,
+                        write_manifest=not args.no_manifest,
+                        fresh=args.fresh)
     if args.command == "export":
         from repro.experiments.sweeps import export_experiment_csv
         try:
@@ -97,6 +207,10 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(f"wrote {args.path}")
         return 0
+    if args.command == "report":
+        return _cmd_report(args.run)
+    if args.command == "cache":
+        return _cmd_cache(args.action)
     if args.command == "info":
         return _cmd_info()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -2,16 +2,26 @@
 
 Every experiment runs against the same frozen MI100-like device model —
 there is no per-figure tuning (DESIGN.md Sec. 5).  Traces and profiles are
-memoized because several figures share operating points.
+memoized because several figures share operating points; the memo is the
+content-addressed disk cache of :mod:`repro.runner.cache` (keyed on model,
+training, device fingerprint and code version), fronted by a small
+in-process table so repeated points within one invocation do not touch
+disk.
+
+Callers always receive *defensive copies*: the seed's ``lru_cache`` handed
+every caller the same mutable ``Trace``/``Profile``, so a fusion or
+checkpointing transform that mutated ``trace.kernels`` silently corrupted
+the cache for all later figures.  Kernels themselves are frozen
+dataclasses, so copying the containers is enough.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.config import BertConfig, TrainingConfig
 from repro.hw.device import DeviceModel, mi100
 from repro.profiler.profiler import Profile, profile_trace
+from repro.runner import telemetry
+from repro.runner.cache import get_cache
 from repro.trace.bert_trace import build_iteration_trace
 from repro.trace.builder import Trace
 
@@ -21,24 +31,48 @@ def default_device() -> DeviceModel:
     return mi100()
 
 
-@lru_cache(maxsize=64)
-def _cached(model: BertConfig, training: TrainingConfig,
-            device_name: str) -> tuple[Trace, Profile]:
-    device = default_device()
-    if device.name != device_name:
-        raise ValueError("cache only supports the default device")
-    trace = build_iteration_trace(model, training)
-    return trace, profile_trace(trace.kernels, device)
+# In-process front of the disk cache: key -> canonical (Trace, Profile).
+# The canonical objects are never handed out; see _copies().
+_memo: dict[str, tuple[Trace, Profile]] = {}
+
+
+def _copies(trace: Trace, profile: Profile) -> tuple[Trace, Profile]:
+    """Fresh containers over the same frozen kernels/records."""
+    return (trace.replaced(trace.kernels),
+            Profile(device=profile.device, records=list(profile.records)))
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (tests; the disk cache is unaffected)."""
+    _memo.clear()
 
 
 def run_point(model: BertConfig, training: TrainingConfig,
               device: DeviceModel | None = None) -> tuple[Trace, Profile]:
     """Trace + profile of one operating point.
 
-    Results are cached for the default device; custom devices are profiled
-    directly.
+    Results are cached on disk, content-addressed by ``(model, training,
+    device fingerprint, code version)``, and survive across invocations.
+    The returned objects are private to the caller — mutating them cannot
+    corrupt later fetches.
     """
-    if device is None or device.name == default_device().name:
-        return _cached(model, training, default_device().name)
-    trace = build_iteration_trace(model, training)
-    return trace, profile_trace(trace.kernels, device)
+    if device is None:
+        device = default_device()
+    cache = get_cache()
+    key = cache.key(model, training, device)
+
+    entry = _memo.get(key)
+    hit = entry is not None
+    if entry is None:
+        entry = cache.get(key)
+        hit = entry is not None
+        if entry is None:
+            trace = build_iteration_trace(model, training)
+            entry = (trace, profile_trace(trace.kernels, device))
+            cache.put(key, *entry)
+        _memo[key] = entry
+
+    collector = telemetry.current()
+    if collector is not None:
+        collector.record_point(kernels=len(entry[0].kernels), hit=hit)
+    return _copies(*entry)

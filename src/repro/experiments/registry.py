@@ -98,6 +98,21 @@ def run_experiment(experiment_id: str) -> str:
     return experiment.render(experiment.run())
 
 
-def run_all() -> dict[str, str]:
-    """Run every registered experiment; returns id -> rendered report."""
-    return {eid: run_experiment(eid) for eid in REGISTRY}
+def run_all(jobs: int = 1) -> dict[str, str]:
+    """Run every registered experiment; returns id -> rendered report.
+
+    Runs through :mod:`repro.runner.executor`, so every experiment
+    executes even if some fail; failures are collected and raised as one
+    ``RuntimeError`` at the end.
+    """
+    from repro.runner.executor import run_experiments
+
+    results = run_experiments(list(REGISTRY), jobs=jobs)
+    failures = [r for r in results if not r.ok]
+    if failures:
+        detail = "\n\n".join(f"{r.experiment_id}:\n{r.error}"
+                             for r in failures)
+        raise RuntimeError(
+            f"{len(failures)} experiment(s) failed: "
+            f"{[r.experiment_id for r in failures]}\n{detail}")
+    return {r.experiment_id: r.output for r in results}

@@ -77,11 +77,25 @@ def export_experiment_csv(experiment_id: str, path: str) -> None:
         handle.write(rows_to_csv(result))
 
 
+def _sweep_row(model: BertConfig, training: TrainingConfig,
+               device: DeviceModel | None) -> dict[str, object]:
+    """Summary dict of one sweep point (top-level so workers can pickle it)."""
+    _, profile = run_point(model, training, device)
+    stats = summarize(profile)
+    return {
+        "label": training.label,
+        "batch_size": training.batch_size,
+        "seq_len": training.seq_len,
+        "tokens": training.tokens_per_iteration,
+        **stats,
+    }
+
+
 def grid_sweep(model: BertConfig,
                trainings: Iterable[TrainingConfig],
                device: DeviceModel | None = None,
-               metrics: Callable[[dict], dict] | None = None
-               ) -> list[dict[str, object]]:
+               metrics: Callable[[dict], dict] | None = None,
+               jobs: int = 1) -> list[dict[str, object]]:
     """Profile every training point; return one summary dict per point.
 
     Args:
@@ -90,20 +104,20 @@ def grid_sweep(model: BertConfig,
         device: device model (default MI100-like).
         metrics: optional post-processor mapping the summary dict to the
             columns you want.
+        jobs: worker processes for large sweeps; 1 runs in-process.
+            Rows come back in ``trainings`` order either way, and workers
+            populate the shared disk cache, so re-sweeping is cheap.
     """
-    rows = []
-    for training in trainings:
-        _, profile = run_point(model, training, device)
-        stats = summarize(profile)
-        row: dict[str, object] = {
-            "label": training.label,
-            "batch_size": training.batch_size,
-            "seq_len": training.seq_len,
-            "tokens": training.tokens_per_iteration,
-            **stats,
-        }
-        rows.append(metrics(row) if metrics else row)
-    return rows
+    trainings = list(trainings)
+    if jobs <= 1 or len(trainings) <= 1:
+        rows = [_sweep_row(model, training, device)
+                for training in trainings]
+    else:
+        import concurrent.futures
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            rows = list(pool.map(_sweep_row, itertools.repeat(model),
+                                 trainings, itertools.repeat(device)))
+    return [metrics(row) for row in rows] if metrics else rows
 
 
 def cross_product(batch_sizes: Iterable[int], seq_lens: Iterable[int],

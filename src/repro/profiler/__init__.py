@@ -5,7 +5,8 @@ from repro.profiler.breakdown import (REGION_ORDER, BreakdownEntry,
                                       memory_bound_fraction,
                                       optimizer_fraction, region_breakdown,
                                       summarize, transformer_breakdown)
-from repro.profiler.export import to_csv, to_json, write_csv, write_json
+from repro.profiler.export import (profile_summary, to_csv, to_json,
+                                   write_csv, write_json)
 from repro.profiler.profiler import KernelProfile, Profile, profile_trace
 from repro.profiler.wallclock import (WallclockPhase, WallclockProfile,
                                       profile_step, profile_steps,
@@ -14,7 +15,8 @@ from repro.profiler.wallclock import (WallclockPhase, WallclockProfile,
 __all__ = [
     "BreakdownEntry", "KernelProfile", "Profile", "REGION_ORDER",
     "component_breakdown", "gemm_fraction", "memory_bound_fraction",
-    "optimizer_fraction", "profile_trace", "region_breakdown", "summarize",
+    "optimizer_fraction", "profile_summary", "profile_trace",
+    "region_breakdown", "summarize",
     "to_csv", "to_json", "transformer_breakdown", "write_csv",
     "write_json", "WallclockPhase", "WallclockProfile", "profile_step",
     "profile_steps", "summarize_wallclock",

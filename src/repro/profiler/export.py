@@ -59,8 +59,24 @@ def write_csv(profile: Profile, path: str) -> None:
         handle.write(to_csv(profile))
 
 
+def profile_summary(profile: Profile) -> dict[str, object]:
+    """Aggregate JSON-ready stats of one profile.
+
+    The shape is shared by :func:`to_json` and the run-manifest telemetry
+    (:mod:`repro.runner.manifest`), so a manifest entry and a full export
+    of the same profile always agree.
+    """
+    return {
+        "kernels": len(profile.records),
+        "total_time_s": profile.total_time,
+        "gemm_time_s": profile.gemm_time(),
+        "flops": sum(r.kernel.flops for r in profile.records),
+        "bytes": sum(r.kernel.bytes_total for r in profile.records),
+    }
+
+
 def to_json(profile: Profile) -> str:
-    """Render the profile as JSON: device header + kernel rows."""
+    """Render the profile as JSON: device header, summary, kernel rows."""
     payload = {
         "device": {
             "name": profile.device.name,
@@ -68,6 +84,7 @@ def to_json(profile: Profile) -> str:
             "compute_units": profile.device.compute_units,
         },
         "total_time_s": profile.total_time,
+        "summary": profile_summary(profile),
         "kernels": list(_rows(profile)),
     }
     return json.dumps(payload, indent=2)

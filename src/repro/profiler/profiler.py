@@ -8,7 +8,7 @@ every breakdown and figure in :mod:`repro.experiments` is computed from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.hw.device import DeviceModel
@@ -50,6 +50,11 @@ class Profile:
 
     device: DeviceModel
     records: list[KernelProfile]
+    # (record count, total) pair backing the cached total_time; compared
+    # against len(records) on access so appends invalidate it.  Excluded
+    # from equality/repr — it is derived state, not identity.
+    _total_cache: tuple[int, float] | None = field(
+        default=None, repr=False, compare=False)
 
     def __iter__(self) -> Iterator[KernelProfile]:
         return iter(self.records)
@@ -59,8 +64,17 @@ class Profile:
 
     @property
     def total_time(self) -> float:
-        """Serialized iteration time in seconds."""
-        return sum(r.time_s for r in self.records)
+        """Serialized iteration time in seconds.
+
+        Cached: ``fraction_where``/``summarize`` loops call this per
+        kernel group, which made them O(n^2) over large traces.  Records
+        are append-only after construction, so the cache keys on the
+        record count and recomputes whenever it changes.
+        """
+        if self._total_cache is None or self._total_cache[0] != len(self.records):
+            self._total_cache = (len(self.records),
+                                 sum(r.time_s for r in self.records))
+        return self._total_cache[1]
 
     # ------------------------------------------------------------- selection
     def time_where(self, predicate: Callable[[Kernel], bool]) -> float:

@@ -1,0 +1,33 @@
+"""Experiment-runner subsystem: cache, parallel executor, telemetry.
+
+The paper's evaluation is a battery of per-figure experiments; this package
+makes replaying that battery fast and trustworthy:
+
+* :mod:`repro.runner.cache` — a content-addressed, disk-backed cache of
+  ``(Trace, Profile)`` pairs keyed on the model/training configs, the
+  device fingerprint and the code version, shared by every experiment and
+  surviving across invocations;
+* :mod:`repro.runner.executor` — runs a batch of registered experiments,
+  optionally across processes, with per-experiment isolation so one
+  failure cannot abort the batch;
+* :mod:`repro.runner.telemetry` — per-experiment counters (cache hits,
+  kernels profiled) collected while an experiment runs;
+* :mod:`repro.runner.manifest` — JSON run manifests under ``runs/`` and
+  the ``repro report`` summary.
+"""
+
+from repro.runner.cache import (CacheStats, ResultCache, configure_cache,
+                                default_cache_dir, get_cache, reset_cache)
+from repro.runner.executor import ExperimentResult, run_experiments
+from repro.runner.manifest import (latest_manifest_path, load_manifest,
+                                   render_manifest, write_manifest)
+from repro.runner.telemetry import Telemetry, collect, current
+
+__all__ = [
+    "CacheStats", "ResultCache", "configure_cache", "default_cache_dir",
+    "get_cache", "reset_cache",
+    "ExperimentResult", "run_experiments",
+    "latest_manifest_path", "load_manifest", "render_manifest",
+    "write_manifest",
+    "Telemetry", "collect", "current",
+]

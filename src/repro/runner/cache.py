@@ -1,0 +1,275 @@
+"""Content-addressed, disk-backed trace/profile cache.
+
+Several figures evaluate the same operating points; the seed repository
+memoized them with ``functools.lru_cache``, which had two failure modes:
+the cache died with the process, and every caller received the *same
+mutable* ``Trace``/``Profile`` objects, so a downstream transform mutating
+``trace.kernels`` silently corrupted every later figure.
+
+This cache fixes both.  Entries are pickled ``(Trace, Profile)`` pairs
+stored under a key that is a SHA-256 over
+
+* the :class:`~repro.config.BertConfig` fields,
+* the :class:`~repro.config.TrainingConfig` fields,
+* the device fingerprint (every parameter of the
+  :class:`~repro.hw.device.DeviceModel`), and
+* the code version (a digest of the source files that determine traces
+  and profiles),
+
+so a change to any of them simply misses instead of serving stale data.
+Writes are atomic (temp file + ``os.replace``) so concurrent worker
+processes never observe torn entries, and a corrupted entry is deleted
+and recomputed rather than crashing the run.
+
+The cache directory defaults to ``~/.cache/repro-bert`` and can be moved
+with the ``REPRO_CACHE_DIR`` environment variable or
+:func:`configure_cache`; ``repro cache clear`` (or deleting the
+directory) empties it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+from repro.config import BertConfig, TrainingConfig
+from repro.hw.device import DeviceModel
+from repro.profiler.profiler import Profile
+from repro.trace.builder import Trace
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Packages whose source determines a (trace, profile) result.  A change to
+#: any file under them rotates the cache key, so stale entries from an older
+#: code version can never be served.
+_CODE_FINGERPRINT_PARTS = ("config.py", "ops", "trace", "hw", "profiler")
+
+
+def default_cache_dir() -> Path:
+    """The active cache directory (``REPRO_CACHE_DIR`` or the user cache)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-bert"
+
+
+def _jsonable(value):
+    """Recursively convert configs/devices into JSON-stable structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(_jsonable(k)): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _digest(payload) -> str:
+    text = json.dumps(_jsonable(payload), sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+_code_fingerprint_cache: str | None = None
+_full_fingerprint_cache: str | None = None
+
+
+def _hash_sources(parts: tuple[str, ...]) -> str:
+    package_root = Path(__file__).resolve().parent.parent
+    sha = hashlib.sha256()
+    for part in parts:
+        path = package_root / part
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for source in files:
+            sha.update(str(source.relative_to(package_root)).encode())
+            sha.update(source.read_bytes())
+    return sha.hexdigest()
+
+
+def code_fingerprint() -> str:
+    """Digest of the source files that determine traces and profiles."""
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        _code_fingerprint_cache = _hash_sources(_CODE_FINGERPRINT_PARTS)
+    return _code_fingerprint_cache
+
+
+def full_code_fingerprint() -> str:
+    """Digest of the entire ``repro`` package source.
+
+    Experiment *results* depend on every layer (trace, device, fusion,
+    distributed models, the experiment modules themselves), so their
+    cache entries key on the whole package: touch any source file and
+    every cached result misses.
+    """
+    global _full_fingerprint_cache
+    if _full_fingerprint_cache is None:
+        _full_fingerprint_cache = _hash_sources((".",))
+    return _full_fingerprint_cache
+
+
+def device_fingerprint(device: DeviceModel) -> str:
+    """Digest of every performance parameter of ``device``."""
+    return _digest(device)
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance.
+
+    Attributes:
+        hits: entries served from disk.
+        misses: keys that had to be recomputed.
+        evictions: corrupted/unreadable entries that were discarded.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+@dataclass
+class ResultCache:
+    """Disk-backed cache of ``(Trace, Profile)`` pairs.
+
+    Attributes:
+        root: directory holding the entries (created lazily).
+        stats: hit/miss counters for this instance.
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def key(self, model: BertConfig, training: TrainingConfig,
+            device: DeviceModel) -> str:
+        """Content address of one operating point on one device."""
+        return _digest({
+            "model": model,
+            "training": training,
+            "device": device_fingerprint(device),
+            "code": code_fingerprint(),
+        })
+
+    def experiment_key(self, experiment_id: str, description: str) -> str:
+        """Content address of one registered experiment's result."""
+        return _digest({
+            "experiment": experiment_id,
+            "description": description,
+            "code": full_code_fingerprint(),
+        })
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get_payload(self, key: str):
+        """Load any pickled entry; ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Torn write, truncation, or a pickle from an incompatible
+            # version: drop the entry and recompute.
+            self.stats.evictions += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put_payload(self, key: str, payload) -> None:
+        """Store any picklable entry atomically (concurrency-safe)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                            suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                pickle.dump(payload, tmp,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def get(self, key: str) -> tuple[Trace, Profile] | None:
+        """Load a ``(Trace, Profile)`` entry; ``None`` on miss/corruption."""
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        trace, profile = payload
+        return trace, profile
+
+    def put(self, key: str, trace: Trace, profile: Profile) -> None:
+        """Store a ``(Trace, Profile)`` entry atomically."""
+        self.put_payload(key, (trace, profile))
+
+    # ------------------------------------------------------------ management
+    def entries(self) -> list[Path]:
+        """All entry files currently on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.pkl"))
+
+    def size_bytes(self) -> int:
+        """Total bytes of all entries."""
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# The process-wide cache used by ``repro.experiments.common.run_point``.
+_active: ResultCache | None = None
+
+
+def get_cache() -> ResultCache:
+    """The process-wide cache instance (created on first use)."""
+    global _active
+    if _active is None:
+        _active = ResultCache()
+    return _active
+
+
+def configure_cache(root: Path | str) -> ResultCache:
+    """Point the process-wide cache at ``root`` (used by tests/tools)."""
+    global _active
+    _active = ResultCache(root=Path(root))
+    return _active
+
+
+def reset_cache() -> None:
+    """Forget the process-wide instance (it re-reads the environment)."""
+    global _active
+    _active = None

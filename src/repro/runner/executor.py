@@ -1,0 +1,157 @@
+"""Batch experiment executor: isolation, parallelism, determinism.
+
+``repro run all`` used to replay the registry serially and abort on the
+first raising experiment.  This executor runs every requested experiment
+to completion regardless of individual failures, optionally fans the
+batch out over worker processes (``--jobs N``), and always returns
+results in the requested order so output is deterministic whatever the
+completion order was.
+
+Each experiment is wrapped in a :mod:`repro.runner.telemetry` collector,
+so its result carries wall-clock time, cache hit/miss counts, kernel
+counts, and — where the experiment's rows self-report a pass/fail verdict
+(Table 1's takeaway checks) — a paper-band summary.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.runner import telemetry
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment in a batch.
+
+    Attributes:
+        experiment_id: registry id (``"fig3"``, ...).
+        ok: whether ``run``/``render`` completed without raising.
+        output: the rendered report (empty on failure).
+        error: formatted traceback (empty on success).
+        duration_s: wall-clock seconds spent in ``run`` + ``render``.
+        counters: telemetry counters (cache hits/misses, kernels, points).
+        bands: ``{"passed": n, "failed": m}`` when the experiment's rows
+            carry a boolean ``holds`` verdict, else ``None``.
+    """
+
+    experiment_id: str
+    ok: bool
+    output: str = ""
+    error: str = ""
+    duration_s: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+    bands: dict[str, int] | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "ok": self.ok,
+            "error": self.error,
+            "duration_s": round(self.duration_s, 6),
+            "bands": self.bands,
+            **self.counters,
+        }
+
+
+def _band_summary(result: object) -> dict[str, int] | None:
+    """Pass/fail counts for experiments whose rows self-report a verdict."""
+    if not isinstance(result, list) or not result:
+        return None
+    verdicts = [getattr(row, "holds") for row in result
+                if isinstance(getattr(row, "holds", None), bool)]
+    if len(verdicts) != len(result):
+        return None
+    return {"passed": sum(verdicts),
+            "failed": len(verdicts) - sum(verdicts)}
+
+
+def run_one(experiment_id: str,
+            use_result_cache: bool = True) -> ExperimentResult:
+    """Run a single registered experiment under telemetry, never raising.
+
+    Successful results (rendered output + band verdicts) are stored in
+    the content-addressed cache keyed on the experiment id and the digest
+    of the *entire* package source, so an unchanged tree replays ``run
+    all`` from disk while any source edit recomputes everything.
+    Failures are never cached.
+    """
+    from repro.experiments.registry import REGISTRY
+    from repro.runner.cache import get_cache
+
+    started = time.perf_counter()
+    cache = get_cache()
+    cache_key = None
+    if experiment_id in REGISTRY:
+        cache_key = cache.experiment_key(
+            experiment_id, REGISTRY[experiment_id].description)
+        if use_result_cache:
+            payload = cache.get_payload(cache_key)
+            if (isinstance(payload, dict)
+                    and isinstance(payload.get("output"), str)):
+                return ExperimentResult(
+                    experiment_id=experiment_id, ok=True,
+                    output=payload["output"],
+                    duration_s=time.perf_counter() - started,
+                    counters={"experiment_cached": 1},
+                    bands=payload.get("bands"))
+
+    with telemetry.collect() as counters:
+        try:
+            experiment = REGISTRY[experiment_id]
+            result = experiment.run()
+            output = experiment.render(result)
+        except Exception:
+            return ExperimentResult(
+                experiment_id=experiment_id, ok=False,
+                error=traceback.format_exc(),
+                duration_s=time.perf_counter() - started,
+                counters=counters.as_dict())
+    bands = _band_summary(result)
+    if cache_key is not None:
+        cache.put_payload(cache_key, {"output": output, "bands": bands})
+    return ExperimentResult(
+        experiment_id=experiment_id, ok=True, output=output,
+        duration_s=time.perf_counter() - started,
+        counters={**counters.as_dict(), "experiment_cached": 0},
+        bands=bands)
+
+
+def run_experiments(experiment_ids: list[str], jobs: int = 1,
+                    use_result_cache: bool = True
+                    ) -> list[ExperimentResult]:
+    """Run a batch of experiments; results in ``experiment_ids`` order.
+
+    Args:
+        experiment_ids: registry ids to run (must all be registered).
+        jobs: worker processes; 1 runs in-process.  Workers share the
+            disk cache (atomic writes), so a point computed by one worker
+            is a hit for the others on the next run.
+        use_result_cache: serve unchanged experiments from the result
+            cache; pass ``False`` (CLI ``--fresh``) to force recompute.
+
+    One experiment failing — even a worker process dying — never aborts
+    the rest of the batch.
+    """
+    if jobs <= 1 or len(experiment_ids) <= 1:
+        return [run_one(eid, use_result_cache)
+                for eid in experiment_ids]
+
+    results: dict[str, ExperimentResult] = {}
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(run_one, eid, use_result_cache): eid
+                   for eid in experiment_ids}
+        for future in concurrent.futures.as_completed(futures):
+            eid = futures[future]
+            try:
+                results[eid] = future.result()
+            except Exception:
+                # The worker process itself died (OOM, segfault, pickle
+                # failure): record it like any other experiment failure.
+                results[eid] = ExperimentResult(
+                    experiment_id=eid, ok=False,
+                    error=traceback.format_exc())
+    return [results[eid] for eid in experiment_ids]

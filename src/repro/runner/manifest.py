@@ -1,0 +1,130 @@
+"""JSON run manifests and the ``repro report`` summary.
+
+Every ``repro run`` invocation records what happened — per-experiment
+wall-clock, cache hit/miss counts, kernel counts, paper-band verdicts and
+failures — into ``runs/<timestamp>.json``.  The manifest is the durable
+baseline future performance PRs are measured against: diff two manifests
+and you know exactly which figures got faster and whether the cache did
+the work.
+
+The directory defaults to ``./runs`` and can be moved with the
+``REPRO_RUNS_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.runner.cache import CacheStats
+from repro.runner.executor import ExperimentResult
+
+#: Environment variable overriding the manifest directory.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+#: Bumped when the manifest layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def runs_dir() -> Path:
+    """The active manifest directory (``REPRO_RUNS_DIR`` or ``./runs``)."""
+    return Path(os.environ.get(RUNS_DIR_ENV, "runs"))
+
+
+def build_manifest(results: list[ExperimentResult], *, jobs: int,
+                   command: str, cache_stats: CacheStats | None = None,
+                   cache_dir: str = "") -> dict:
+    """Assemble the manifest payload for one batch of results."""
+    totals = {
+        "experiments": len(results),
+        "failed": sum(1 for r in results if not r.ok),
+        "duration_s": round(sum(r.duration_s for r in results), 6),
+        "cache_hits": sum(r.counters.get("cache_hits", 0)
+                          for r in results),
+        "cache_misses": sum(r.counters.get("cache_misses", 0)
+                            for r in results),
+        "kernels": sum(r.counters.get("kernels", 0) for r in results),
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "command": command,
+        "jobs": jobs,
+        "cache_dir": cache_dir,
+        "cache_stats": cache_stats.as_dict() if cache_stats else None,
+        "totals": totals,
+        "experiments": [r.as_dict() for r in results],
+    }
+
+
+def write_manifest(manifest: dict, directory: Path | None = None) -> Path:
+    """Write ``manifest`` to ``<runs>/<timestamp>.json``; returns the path.
+
+    Timestamps collide when invocations land within the same second, so
+    names carry a zero-padded sequence suffix — lexicographic order is
+    chronological order, which :func:`latest_manifest_path` relies on.
+    """
+    directory = directory if directory is not None else runs_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    for sequence in range(1000):
+        path = directory / f"{stamp}-{sequence:03d}.json"
+        if not path.exists():
+            break
+    path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def latest_manifest_path(directory: Path | None = None) -> Path | None:
+    """The most recent manifest in ``directory``, or ``None``."""
+    directory = directory if directory is not None else runs_dir()
+    if not directory.is_dir():
+        return None
+    manifests = sorted(directory.glob("*.json"))
+    return manifests[-1] if manifests else None
+
+
+def load_manifest(path: Path) -> dict:
+    """Parse one manifest file."""
+    return json.loads(Path(path).read_text())
+
+
+def render_manifest(manifest: dict) -> str:
+    """Human summary of one manifest (the body of ``repro report``)."""
+    from repro.report.tables import format_table
+
+    rows = []
+    for entry in manifest["experiments"]:
+        bands = entry.get("bands")
+        band_text = ("-" if bands is None
+                     else f"{bands['passed']}/{bands['passed'] + bands['failed']} pass")
+        if not entry["ok"]:
+            status = "FAILED"
+        elif entry.get("experiment_cached"):
+            status = "ok (cached)"
+        else:
+            status = "ok"
+        rows.append((
+            entry["experiment_id"],
+            status,
+            f"{entry['duration_s'] * 1e3:.1f} ms",
+            entry.get("cache_hits", 0),
+            entry.get("cache_misses", 0),
+            entry.get("kernels", 0),
+            band_text,
+        ))
+    table = format_table(
+        ("experiment", "status", "wall-clock", "hits", "misses",
+         "kernels", "bands"), rows)
+    totals = manifest["totals"]
+    header = (f"run {manifest['created_utc']}  "
+              f"command={manifest['command']!r}  jobs={manifest['jobs']}")
+    footer = (f"{totals['experiments']} experiments, "
+              f"{totals['failed']} failed, "
+              f"{totals['duration_s']:.2f} s total, "
+              f"cache {totals['cache_hits']} hits / "
+              f"{totals['cache_misses']} misses, "
+              f"{totals['kernels']} kernels profiled")
+    return f"{header}\n\n{table}\n\n{footer}"

@@ -1,0 +1,69 @@
+"""Per-experiment run telemetry.
+
+While an experiment executes, :func:`repro.experiments.common.run_point`
+reports every operating point it resolves — cache hit or miss, and the
+size of the profiled trace — into the innermost active
+:class:`Telemetry` collector.  The executor opens one collector per
+experiment, so the run manifest can attribute cache traffic and kernel
+counts to individual figures.
+
+Collectors nest (a stack, not a single global): an experiment that
+internally replays another experiment's points still attributes them to
+itself, and code outside any collector is simply not counted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+
+@dataclass
+class Telemetry:
+    """Counters accumulated while one experiment runs.
+
+    Attributes:
+        cache_hits: operating points served from the result cache.
+        cache_misses: operating points that were traced + profiled anew.
+        kernels: total kernels in all resolved profiles (hit or miss).
+        points: distinct ``run_point`` resolutions observed.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    kernels: int = 0
+    points: int = 0
+
+    def record_point(self, *, kernels: int, hit: bool) -> None:
+        """Record one resolved operating point."""
+        self.points += 1
+        self.kernels += kernels
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def as_dict(self) -> dict[str, int]:
+        return {"cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "kernels": self.kernels,
+                "points": self.points}
+
+
+_stack: list[Telemetry] = []
+
+
+def current() -> Telemetry | None:
+    """The innermost active collector, if any."""
+    return _stack[-1] if _stack else None
+
+
+@contextlib.contextmanager
+def collect():
+    """Context manager opening a fresh collector for one experiment."""
+    telemetry = Telemetry()
+    _stack.append(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _stack.pop()

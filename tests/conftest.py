@@ -1,0 +1,26 @@
+"""Test-wide isolation for the runner subsystem.
+
+The result cache and run manifests are durable by design; tests must not
+read a developer's warm cache (a stale entry could mask a regression) nor
+litter the repository with ``runs/`` manifests.  Point both at
+session-scoped temporary directories before anything imports them.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.runner import cache
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_runner_dirs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("runner")
+    mp = pytest.MonkeyPatch()
+    mp.setenv(cache.CACHE_DIR_ENV, str(root / "cache"))
+    mp.setenv("REPRO_RUNS_DIR", str(root / "runs"))
+    cache.reset_cache()
+    getattr(common, "clear_memo", lambda: None)()
+    yield
+    mp.undo()
+    cache.reset_cache()
+    getattr(common, "clear_memo", lambda: None)()

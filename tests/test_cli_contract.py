@@ -1,0 +1,211 @@
+"""CLI exit-code contract and run-manifest tests.
+
+Most tests run against a tiny stub registry so the contract (exit codes,
+failure isolation, manifest contents) is exercised without paying for the
+real figures.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry as registry_module
+from repro.experiments.registry import Experiment
+
+
+def _ok_run():
+    return [1, 2, 3]
+
+
+def _ok_render(result):
+    return "header\n" + "\n".join(f"row {v}" for v in result)
+
+
+def _boom_run():
+    raise RuntimeError("synthetic experiment failure")
+
+
+STUB_REGISTRY = {
+    "alpha": Experiment("alpha", "first stub", _ok_run, _ok_render),
+    "boom": Experiment("boom", "always fails", _boom_run, _ok_render),
+    "omega": Experiment("omega", "last stub", _ok_run, _ok_render),
+}
+
+
+@pytest.fixture()
+def stub_registry(monkeypatch):
+    monkeypatch.setattr(registry_module, "REGISTRY", dict(STUB_REGISTRY))
+
+
+@pytest.fixture()
+def runs_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "runs"
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(directory))
+    return directory
+
+
+class TestRunExitCodes:
+    def test_unknown_id_exits_2_and_lists_valid_ids(self, stub_registry,
+                                                    capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nope'" in err
+        for eid in STUB_REGISTRY:
+            assert eid in err
+
+    def test_single_success_exits_0(self, stub_registry, runs_dir, capsys):
+        assert main(["run", "alpha"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha: first stub" in out
+        assert "row 1" in out
+
+    def test_failure_does_not_abort_batch(self, stub_registry, runs_dir,
+                                          capsys):
+        assert main(["run", "all"]) == 1
+        captured = capsys.readouterr()
+        # Experiments after the failing one still ran, in registry order.
+        assert captured.out.index("alpha:") < captured.out.index("boom:")
+        assert captured.out.index("boom:") < captured.out.index("omega:")
+        assert "synthetic experiment failure" in captured.err
+        assert "2/3 experiments succeeded" in captured.out
+        assert "FAILED: boom" in captured.out
+
+    def test_all_green_batch_exits_0(self, stub_registry, runs_dir,
+                                     monkeypatch, capsys):
+        registry_module.REGISTRY.pop("boom")
+        assert main(["run", "all"]) == 0
+        assert "2/2 experiments succeeded" in capsys.readouterr().out
+
+
+class TestManifest:
+    def test_run_writes_manifest(self, stub_registry, runs_dir, capsys):
+        assert main(["run", "all"]) == 1
+        manifests = list(runs_dir.glob("*.json"))
+        assert len(manifests) == 1
+        payload = json.loads(manifests[0].read_text())
+        assert payload["schema"] == 1
+        assert payload["command"] == "run all"
+        assert payload["totals"]["experiments"] == 3
+        assert payload["totals"]["failed"] == 1
+        by_id = {e["experiment_id"]: e for e in payload["experiments"]}
+        assert by_id["boom"]["ok"] is False
+        assert "synthetic experiment failure" in by_id["boom"]["error"]
+        assert by_id["alpha"]["ok"] is True
+        assert by_id["alpha"]["duration_s"] >= 0
+
+    def test_no_manifest_flag(self, stub_registry, runs_dir, capsys):
+        assert main(["run", "alpha", "--no-manifest"]) == 0
+        assert not runs_dir.exists()
+
+    def test_report_summarizes_latest_run(self, stub_registry, runs_dir,
+                                          capsys):
+        main(["run", "all"])
+        capsys.readouterr()
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "boom" in out
+        assert "FAILED" in out
+        assert "1 failed" in out
+
+    def test_report_without_runs_exits_1(self, runs_dir, capsys):
+        assert main(["report"]) == 1
+        assert "no run manifest" in capsys.readouterr().err
+
+
+class TestResultCache:
+    def test_second_run_served_from_cache_with_identical_stdout(
+            self, stub_registry, runs_dir, tmp_path, capsys):
+        from repro.experiments import common
+        from repro.runner import cache as cache_module
+
+        cache_module.configure_cache(tmp_path / "cache")
+        try:
+            assert main(["run", "omega", "--no-manifest"]) == 0
+            first = capsys.readouterr().out
+            assert main(["run", "omega", "--no-manifest"]) == 0
+            second = capsys.readouterr().out
+            assert first == second
+
+            # The manifest of a third run records the cache serve.
+            assert main(["run", "omega"]) == 0
+            capsys.readouterr()
+            manifest = json.loads(
+                sorted(runs_dir.glob("*.json"))[-1].read_text())
+            [entry] = manifest["experiments"]
+            assert entry["experiment_cached"] == 1
+
+            # --fresh bypasses the result cache and recomputes.
+            assert main(["run", "omega", "--fresh"]) == 0
+            capsys.readouterr()
+            manifest = json.loads(
+                sorted(runs_dir.glob("*.json"))[-1].read_text())
+            [entry] = manifest["experiments"]
+            assert entry["experiment_cached"] == 0
+        finally:
+            cache_module.reset_cache()
+            getattr(common, "clear_memo", lambda: None)()
+
+    def test_failures_are_never_cached(self, stub_registry, runs_dir,
+                                       capsys):
+        assert main(["run", "boom", "--no-manifest"]) == 1
+        capsys.readouterr()
+        # Re-running executes the experiment again (and fails again)
+        # rather than serving a cached failure.
+        assert main(["run", "boom", "--no-manifest"]) == 1
+        assert "synthetic experiment failure" in capsys.readouterr().err
+
+
+class TestParallelRun:
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="stub registry reaches workers via fork")
+    def test_jobs_2_same_output_order_and_isolation(self, stub_registry,
+                                                    runs_dir, capsys):
+        assert main(["run", "all", "--jobs", "2"]) == 1
+        out = capsys.readouterr().out
+        assert out.index("alpha:") < out.index("boom:") < out.index("omega:")
+        assert "FAILED: boom" in out
+
+
+class TestListAndExport:
+    def test_list_empty_registry_does_not_crash(self, monkeypatch, capsys):
+        monkeypatch.setattr(registry_module, "REGISTRY", {})
+        assert main(["list"]) == 0
+        assert "no experiments registered" in capsys.readouterr().out
+
+    def test_list_real_registry(self, capsys):
+        assert main(["list"]) == 0
+        assert "fig3" in capsys.readouterr().out
+
+    def test_export_non_tabular_exits_2(self, tmp_path, capsys):
+        assert main(["export", "fig4", str(tmp_path / "x.csv")]) == 2
+
+    def test_export_unknown_id_exits_2(self, tmp_path, capsys):
+        assert main(["export", "nope", str(tmp_path / "x.csv")]) == 2
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, tmp_path, monkeypatch, capsys):
+        from repro.config import BERT_TINY, TrainingConfig
+        from repro.experiments import common
+        from repro.runner import cache as cache_module
+
+        cache_module.configure_cache(tmp_path / "cache")
+        common.clear_memo()
+        try:
+            from repro.experiments.common import run_point
+            run_point(BERT_TINY, TrainingConfig(batch_size=2, seq_len=16))
+
+            assert main(["cache", "info"]) == 0
+            out = capsys.readouterr().out
+            assert "entries: 1" in out
+
+            assert main(["cache", "clear"]) == 0
+            assert "removed 1" in capsys.readouterr().out
+            assert main(["cache", "info"]) == 0
+            assert "entries: 0" in capsys.readouterr().out
+        finally:
+            cache_module.reset_cache()
+            common.clear_memo()

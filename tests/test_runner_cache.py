@@ -1,0 +1,234 @@
+"""Runner cache: content addressing, round-trips, aliasing regression.
+
+The aliasing test is the regression guard for the seed's ``lru_cache``
+bug: memoized ``run_point`` handed every caller the same mutable
+``Trace``/``Profile``, so mutating ``trace.kernels`` corrupted the cache
+for every later figure.  Against that implementation the test fails; with
+the content-addressed cache plus defensive copies it passes.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.config import BERT_TINY, TrainingConfig
+from repro.experiments import common
+from repro.experiments.common import run_point
+from repro.hw.device import mi100
+from repro.runner import cache as cache_module
+from repro.runner.cache import ResultCache
+from repro.runner.telemetry import collect
+
+TINY = TrainingConfig(batch_size=2, seq_len=16)
+DEVICE = mi100()
+
+
+def _clear_memo():
+    # getattr so the aliasing regression tests still *run* (and fail on
+    # their assertions) against the pre-fix lru_cache implementation,
+    # which has no memo to clear.
+    getattr(common, "clear_memo", lambda: None)()
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(tmp_path):
+    """Per-test cache directory and empty in-process memo."""
+    cache_module.configure_cache(tmp_path / "cache")
+    _clear_memo()
+    yield
+    cache_module.reset_cache()
+    _clear_memo()
+
+
+class TestAliasingRegression:
+    def test_mutating_returned_trace_does_not_corrupt_cache(self):
+        trace, _ = run_point(BERT_TINY, TINY)
+        n_kernels = len(trace.kernels)
+        trace.kernels.clear()  # a hostile downstream transform
+
+        again, _ = run_point(BERT_TINY, TINY)
+        assert len(again.kernels) == n_kernels
+
+    def test_mutating_returned_profile_does_not_corrupt_cache(self):
+        _, profile = run_point(BERT_TINY, TINY)
+        n_records = len(profile.records)
+        total = profile.total_time
+        del profile.records[: n_records // 2]
+
+        _, again = run_point(BERT_TINY, TINY)
+        assert len(again.records) == n_records
+        assert again.total_time == pytest.approx(total)
+
+    def test_callers_get_distinct_containers(self):
+        trace_a, profile_a = run_point(BERT_TINY, TINY)
+        trace_b, profile_b = run_point(BERT_TINY, TINY)
+        assert trace_a.kernels is not trace_b.kernels
+        assert profile_a.records is not profile_b.records
+        # Same content though: the copies are cheap container copies.
+        assert trace_a.kernels == trace_b.kernels
+
+
+class TestContentAddressing:
+    def test_key_is_deterministic(self):
+        cache = ResultCache()
+        key = cache.key(BERT_TINY, TINY, DEVICE)
+        assert key == cache.key(BERT_TINY, TINY, DEVICE)
+
+    def test_key_changes_with_model(self):
+        cache = ResultCache()
+        other = BERT_TINY.scaled(num_layers=3)
+        assert (cache.key(BERT_TINY, TINY, DEVICE)
+                != cache.key(other, TINY, DEVICE))
+
+    def test_key_changes_with_training(self):
+        cache = ResultCache()
+        other = dataclasses.replace(TINY, batch_size=4)
+        assert (cache.key(BERT_TINY, TINY, DEVICE)
+                != cache.key(BERT_TINY, other, DEVICE))
+
+    def test_key_changes_with_device(self):
+        cache = ResultCache()
+        tweaked = dataclasses.replace(DEVICE, mem_bandwidth_gbps=999.0)
+        assert (cache.key(BERT_TINY, TINY, DEVICE)
+                != cache.key(BERT_TINY, TINY, tweaked))
+
+    def test_key_changes_with_code_version(self, monkeypatch):
+        cache = ResultCache()
+        before = cache.key(BERT_TINY, TINY, DEVICE)
+        monkeypatch.setattr(cache_module, "_code_fingerprint_cache",
+                            "different-code-version")
+        assert cache.key(BERT_TINY, TINY, DEVICE) != before
+
+
+class TestDiskRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "rt")
+        key = cache.key(BERT_TINY, TINY, DEVICE)
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+        trace, profile = run_point(BERT_TINY, TINY)
+        cache.put(key, trace, profile)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert cache.stats.hits == 1
+        loaded_trace, loaded_profile = loaded
+        assert len(loaded_trace.kernels) == len(trace.kernels)
+        assert loaded_profile.total_time == pytest.approx(
+            profile.total_time)
+
+    def test_survives_across_instances(self, tmp_path):
+        root = tmp_path / "persist"
+        first = ResultCache(root=root)
+        key = first.key(BERT_TINY, TINY, DEVICE)
+        trace, profile = run_point(BERT_TINY, TINY)
+        first.put(key, trace, profile)
+
+        # A fresh instance (a later invocation) sees the entry.
+        second = ResultCache(root=root)
+        assert second.get(key) is not None
+        assert second.stats.hits == 1
+
+    def test_corrupted_entry_falls_back_to_recompute(self):
+        with collect() as first:
+            run_point(BERT_TINY, TINY)
+        assert first.cache_misses == 1
+
+        cache = cache_module.get_cache()
+        [entry] = cache.entries()
+        entry.write_bytes(b"not a pickle")
+        common.clear_memo()
+
+        with collect() as second:
+            trace, _ = run_point(BERT_TINY, TINY)
+        assert second.cache_misses == 1
+        assert cache.stats.evictions == 1
+        assert len(trace.kernels) > 0
+        # The recompute rewrote the entry; it loads cleanly now.
+        common.clear_memo()
+        with collect() as third:
+            run_point(BERT_TINY, TINY)
+        assert third.cache_hits == 1
+
+    def test_truncated_pickle_falls_back(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "trunc")
+        key = cache.key(BERT_TINY, TINY, DEVICE)
+        trace, profile = run_point(BERT_TINY, TINY)
+        cache.put(key, trace, profile)
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:64])
+        assert cache.get(key) is None
+        assert cache.stats.evictions == 1
+
+    def test_clear_and_info(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "mgmt")
+        trace, profile = run_point(BERT_TINY, TINY)
+        for batch in (2, 3):
+            key = cache.key(
+                BERT_TINY, dataclasses.replace(TINY, batch_size=batch),
+                DEVICE)
+            cache.put(key, trace, profile)
+        assert len(cache.entries()) == 2
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+
+class TestRunPointThroughCache:
+    def test_second_invocation_hits_disk(self):
+        with collect() as first:
+            run_point(BERT_TINY, TINY)
+        assert (first.cache_hits, first.cache_misses) == (0, 1)
+
+        common.clear_memo()  # simulate a new process, same cache dir
+        with collect() as second:
+            run_point(BERT_TINY, TINY)
+        assert (second.cache_hits, second.cache_misses) == (1, 0)
+
+    def test_memo_hit_within_invocation(self):
+        with collect() as telemetry:
+            run_point(BERT_TINY, TINY)
+            run_point(BERT_TINY, TINY)
+        assert telemetry.cache_hits == 1
+        assert telemetry.cache_misses == 1
+        assert telemetry.points == 2
+        assert telemetry.kernels > 0
+
+    def test_custom_device_is_cached_under_its_fingerprint(self):
+        tweaked = dataclasses.replace(DEVICE, name="tweaked",
+                                      mem_bandwidth_gbps=600.0)
+        _, profile_default = run_point(BERT_TINY, TINY)
+        _, profile_tweaked = run_point(BERT_TINY, TINY, tweaked)
+        assert profile_tweaked.total_time != pytest.approx(
+            profile_default.total_time)
+
+        common.clear_memo()
+        with collect() as telemetry:
+            _, again = run_point(BERT_TINY, TINY, tweaked)
+        assert telemetry.cache_hits == 1
+        assert again.total_time == pytest.approx(
+            profile_tweaked.total_time)
+
+    def test_cached_results_identical_to_fresh(self):
+        trace_fresh, profile_fresh = run_point(BERT_TINY, TINY)
+        common.clear_memo()
+        trace_cached, profile_cached = run_point(BERT_TINY, TINY)
+        assert trace_cached.kernels == trace_fresh.kernels
+        assert [r.time_s for r in profile_cached.records] == pytest.approx(
+            [r.time_s for r in profile_fresh.records])
+
+
+class TestProfileTotalTimeCache:
+    def test_append_invalidates(self):
+        _, profile = run_point(BERT_TINY, TINY)
+        before = profile.total_time
+        profile.records.append(profile.records[0])
+        assert profile.total_time == pytest.approx(
+            before + profile.records[0].time_s)
+
+    def test_pickle_roundtrip_preserves_total(self):
+        _, profile = run_point(BERT_TINY, TINY)
+        total = profile.total_time
+        clone = pickle.loads(pickle.dumps(profile))
+        assert clone.total_time == pytest.approx(total)

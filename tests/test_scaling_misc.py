@@ -135,11 +135,15 @@ class TestRunPointCustomDevice:
     def test_default_device_results_cached(self):
         from repro.config import TrainingConfig
         from repro.experiments.common import run_point
+        from repro.runner.telemetry import collect
 
         training = TrainingConfig(batch_size=2, seq_len=16)
         first = run_point(BERT_TINY, training)
-        second = run_point(BERT_TINY, training)
-        assert first[0] is second[0]  # same Trace object -> cache hit
+        with collect() as telemetry:
+            second = run_point(BERT_TINY, training)
+        assert telemetry.cache_hits == 1  # served from the cache...
+        assert first[0] is not second[0]  # ...as a defensive copy
+        assert first[0].kernels == second[0].kernels
 
 
 class TestPackingStudy:
