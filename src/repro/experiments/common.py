@@ -8,11 +8,12 @@ training, device fingerprint and code version), fronted by a small
 in-process table so repeated points within one invocation do not touch
 disk.
 
-Callers always receive *defensive copies*: the seed's ``lru_cache`` handed
+Callers always receive *independent views*: the seed's ``lru_cache`` handed
 every caller the same mutable ``Trace``/``Profile``, so a fusion or
 checkpointing transform that mutated ``trace.kernels`` silently corrupted
-the cache for all later figures.  Kernels themselves are frozen
-dataclasses, so copying the containers is enough.
+the cache for all later figures.  ``fork()`` hands each caller its own
+view — columnar-backed traces/profiles share the frozen backing arrays
+(copy-free), while materialized ones copy their containers.
 """
 
 from __future__ import annotations
@@ -32,14 +33,8 @@ def default_device() -> DeviceModel:
 
 
 # In-process front of the disk cache: key -> canonical (Trace, Profile).
-# The canonical objects are never handed out; see _copies().
+# The canonical objects are never handed out; callers get fork()ed views.
 _memo: dict[str, tuple[Trace, Profile]] = {}
-
-
-def _copies(trace: Trace, profile: Profile) -> tuple[Trace, Profile]:
-    """Fresh containers over the same frozen kernels/records."""
-    return (trace.replaced(trace.kernels),
-            Profile(device=profile.device, records=list(profile.records)))
 
 
 def clear_memo() -> None:
@@ -68,11 +63,11 @@ def run_point(model: BertConfig, training: TrainingConfig,
         hit = entry is not None
         if entry is None:
             trace = build_iteration_trace(model, training)
-            entry = (trace, profile_trace(trace.kernels, device))
+            entry = (trace, profile_trace(trace, device))
             cache.put(key, *entry)
         _memo[key] = entry
 
     collector = telemetry.current()
     if collector is not None:
-        collector.record_point(kernels=len(entry[0].kernels), hit=hit)
-    return _copies(*entry)
+        collector.record_point(kernels=len(entry[0]), hit=hit)
+    return entry[0].fork(), entry[1].fork()

@@ -11,7 +11,7 @@ from repro.hw.roofline import (RooflinePoint, attainable, classify_kernels,
 from repro.hw.microsim import (BackendComparison, KernelSimResult,
                                compare_backends, simulate_kernel,
                                simulate_trace)
-from repro.hw.timing import kernel_time, trace_time
+from repro.hw.timing import kernel_time, kernel_times, trace_time
 
 __all__ = [
     "DeviceModel", "EnergyReport", "EnergySpec", "GemmEngineSpec",
@@ -21,6 +21,6 @@ __all__ = [
     "simulate_kernel", "simulate_trace",
     "a100_like", "v100_like",
     "attainable", "balanced_accelerator", "classify_kernels", "gemm_time",
-    "is_memory_bound", "kernel_time", "mi100", "place", "ridge_point",
-    "shape_efficiency", "trace_time",
+    "is_memory_bound", "kernel_time", "kernel_times", "mi100", "place",
+    "ridge_point", "shape_efficiency", "trace_time",
 ]

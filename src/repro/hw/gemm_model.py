@@ -20,6 +20,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.hw.device import DeviceModel
 from repro.ops.base import DType
@@ -120,3 +123,55 @@ def is_memory_bound(shape: GemmShape, dtype: DType,
                     device: DeviceModel) -> bool:
     """Whether the GEMM is limited by memory traffic on ``device``."""
     return gemm_time(shape, dtype, device).memory_bound
+
+
+# ---------------------------------------------------------------------------
+# Batched (columnar) evaluation.  Must stay in lockstep with the scalar
+# functions above — it applies the same operations in the same order over
+# whole arrays, so the per-shape results are bit-identical; the golden
+# equivalence test (tests/test_profile_engine_golden.py) enforces this.
+# ---------------------------------------------------------------------------
+
+def batch_shape_efficiency(shapes: Sequence[GemmShape],
+                           device: DeviceModel) -> np.ndarray:
+    """:func:`shape_efficiency` evaluated over an array of shapes."""
+    m = np.array([s.m for s in shapes], dtype=np.int64)
+    n = np.array([s.n for s in shapes], dtype=np.int64)
+    k = np.array([s.k for s in shapes], dtype=np.int64)
+    batch = np.array([s.batch for s in shapes], dtype=np.int64)
+    cus = device.compute_units
+
+    efficiency = np.zeros(len(shapes), dtype=np.float64)
+    for tile_m, tile_n, ceiling in TILE_CANDIDATES:
+        tiles_m = -(-m // tile_m)
+        tiles_n = -(-n // tile_n)
+        tiles = tiles_m * tiles_n * batch
+        tile_util = (m * n) / (tiles_m * tile_m * tiles_n * tile_n)
+        waves = -(-tiles // cus)
+        wave_util = tiles / (waves * cus)
+        k_util = k / (k + device.gemm_k_half)
+        efficiency = np.maximum(efficiency,
+                                ceiling * tile_util * wave_util * k_util)
+    return efficiency
+
+
+def batch_gemm_times(shapes: Sequence[GemmShape], dtype: DType,
+                     device: DeviceModel) -> np.ndarray:
+    """Total kernel times of many GEMM shapes of one dtype, vectorized.
+
+    Equivalent to ``[gemm_time(s, dtype, device).total_s for s in shapes]``
+    with the tile/wave/K-loop model applied across the whole array at once.
+    """
+    engine = device.gemm_engine(dtype)
+    efficiency = batch_shape_efficiency(shapes, device)
+    flops = np.array([s.flops for s in shapes], dtype=np.int64)
+    compute_s = flops / (engine.effective_peak * efficiency)
+
+    bytes_moved = np.array([s.bytes_total(dtype) for s in shapes],
+                           dtype=np.int64)
+    ceiling = device.gemm_mem_efficiency * device.peak_bandwidth
+    ramp = bytes_moved / (bytes_moved + device.bw_saturation_bytes)
+    memory_s = bytes_moved / (ceiling * ramp)
+
+    return (np.maximum(compute_s, memory_s)
+            + device.kernel_launch_overhead_s)

@@ -10,6 +10,11 @@ Three aggregation levels mirror Figs. 3 and 4:
   sweeps: linear GEMMs, attention BGEMMs, scale+mask+dropout+softmax,
   FC GEMMs, GeLU, DR+RC+LN — each as a fraction of *overall* iteration
   time, matching the paper's labeling.
+
+Every slice here is expressed as an attribute filter (component/region
+codes) rather than a Python predicate, so on a columnar-backed
+:class:`~repro.profiler.profiler.Profile` each one is a single masked
+array reduction instead of an O(n) kernel scan.
 """
 
 from __future__ import annotations
@@ -18,6 +23,11 @@ from dataclasses import dataclass
 
 from repro.ops.base import Component, Region
 from repro.profiler.profiler import Profile
+
+#: Region groups of the Fig. 4 "Transformer" bar.
+ATTENTION_REGIONS = (Region.ATTENTION_LINEAR, Region.ATTENTION_BGEMM,
+                     Region.ATTENTION_SMDSM)
+FC_REGIONS = (Region.FC_GEMM, Region.FC_GELU)
 
 
 @dataclass(frozen=True)
@@ -64,15 +74,12 @@ def transformer_breakdown(profile: Profile) -> list[BreakdownEntry]:
     """
     total = profile.total_time
     named = [
-        ("attention", profile.time_where(
-            lambda k: k.component is Component.TRANSFORMER
-            and k.region.is_attention)),
-        ("fc", profile.time_where(
-            lambda k: k.component is Component.TRANSFORMER
-            and k.region.is_fc)),
-        ("dr_rc_ln", profile.time_where(
-            lambda k: k.component is Component.TRANSFORMER
-            and k.region is Region.DR_RC_LN)),
+        ("attention", profile.time_of(component=Component.TRANSFORMER,
+                                      region=ATTENTION_REGIONS)),
+        ("fc", profile.time_of(component=Component.TRANSFORMER,
+                               region=FC_REGIONS)),
+        ("dr_rc_ln", profile.time_of(component=Component.TRANSFORMER,
+                                     region=Region.DR_RC_LN)),
     ]
     return _entries(named, total)
 
@@ -108,26 +115,30 @@ def gemm_fraction(profile: Profile) -> float:
 
 def optimizer_fraction(profile: Profile) -> float:
     """Share of iteration time in the optimizer update (Takeaways 1/2)."""
-    return profile.fraction_where(
-        lambda k: k.component is Component.OPTIMIZER)
+    total = profile.total_time
+    time_s = profile.time_of(component=Component.OPTIMIZER)
+    return time_s / total if total else 0.0
 
 
 def memory_bound_fraction(profile: Profile) -> float:
     """Share of iteration time in non-GEMM (memory-bound) kernels
     (Takeaways 8/9)."""
-    return profile.fraction_where(lambda k: not k.op_class.is_gemm)
+    total = profile.total_time
+    return profile.non_gemm_time() / total if total else 0.0
 
 
 def summarize(profile: Profile) -> dict[str, float]:
     """Headline fractions used across experiments and tests."""
+    total = profile.total_time
+
+    def share(component: Component) -> float:
+        return profile.time_of(component=component) / total if total else 0.0
+
     return {
-        "total_time_s": profile.total_time,
-        "transformer": profile.fraction_where(
-            lambda k: k.component is Component.TRANSFORMER),
-        "output": profile.fraction_where(
-            lambda k: k.component is Component.OUTPUT),
-        "embedding": profile.fraction_where(
-            lambda k: k.component is Component.EMBEDDING),
+        "total_time_s": total,
+        "transformer": share(Component.TRANSFORMER),
+        "output": share(Component.OUTPUT),
+        "embedding": share(Component.EMBEDDING),
         "optimizer": optimizer_fraction(profile),
         "gemm": gemm_fraction(profile),
         "non_gemm": memory_bound_fraction(profile),

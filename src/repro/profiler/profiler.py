@@ -4,16 +4,28 @@ Plays a :class:`~repro.trace.builder.Trace` through a
 :class:`~repro.hw.device.DeviceModel` and produces a per-kernel profile —
 the rocProf-equivalent table (time, FLOPs, bytes, achieved bandwidth) that
 every breakdown and figure in :mod:`repro.experiments` is computed from.
+
+A profile, like a trace, is columnar-first: :func:`profile_trace` times the
+whole trace through the vectorized :func:`repro.hw.timing.kernel_times`
+engine and stores just ``(KernelTable, times array)``.  The per-record
+object view (``profile.records``) is materialized lazily; until someone
+touches it, ``time_of`` / ``gemm_time`` / ``total_time`` are masked array
+reductions.  Once the record list exists it becomes the authoritative,
+mutable side and the aggregation methods fall back to scanning it, so code
+that appends or deletes records keeps its existing semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
+import numpy as np
+
 from repro.hw.device import DeviceModel
-from repro.hw.timing import kernel_time
+from repro.hw.timing import kernel_times
 from repro.ops.base import Component, Kernel, OpClass, Phase, Region
+from repro.trace.kernel_table import KernelTable
 
 
 @dataclass(frozen=True)
@@ -39,29 +51,103 @@ class KernelProfile:
         return self.kernel.flops / self.time_s if self.time_s else 0.0
 
 
-@dataclass
 class Profile:
     """Profiled execution of a whole iteration trace.
 
     Attributes:
         device: device the trace was timed on.
-        records: per-kernel profiles, in launch order.
+        records: per-kernel profiles, in launch order (lazily materialized
+            when the profile is columnar-backed).
     """
 
-    device: DeviceModel
-    records: list[KernelProfile]
-    # (record count, total) pair backing the cached total_time; compared
-    # against len(records) on access so appends invalidate it.  Excluded
-    # from equality/repr — it is derived state, not identity.
-    _total_cache: tuple[int, float] | None = field(
-        default=None, repr=False, compare=False)
+    def __init__(self, device: DeviceModel,
+                 records: list[KernelProfile] | None = None, *,
+                 table: KernelTable | None = None,
+                 times: np.ndarray | None = None):
+        if records is None and (table is None or times is None):
+            raise ValueError("Profile needs records or a (table, times) pair")
+        self.device = device
+        self._records: list[KernelProfile] | None = (
+            list(records) if records is not None else None)
+        self._table = table
+        if times is not None:
+            times = np.asarray(times, dtype=np.float64)
+            times.flags.writeable = False  # shared across fork()ed views
+        self._times = times
+        # (record count, total) pair backing the cached total_time; compared
+        # against len() on access so appends invalidate it.
+        self._total_cache: tuple[int, float] | None = None
+
+    # -------------------------------------------------------- representations
+    @property
+    def records(self) -> list[KernelProfile]:
+        """The record list, materialized from the columns on first access."""
+        if self._records is None:
+            kernels = self._table.to_kernels()
+            self._records = [KernelProfile(kernel=k, time_s=float(t))
+                             for k, t in zip(kernels, self._times)]
+        return self._records
+
+    def _columnar(self) -> KernelTable | None:
+        """The table, only while it is authoritative (records untouched)."""
+        return self._table if self._records is None else None
+
+    @property
+    def times(self) -> np.ndarray:
+        """Per-kernel times as an array (a copy when record-backed)."""
+        if self._columnar() is not None:
+            return self._times
+        return np.array([r.time_s for r in self._records], dtype=np.float64)
+
+    def fork(self) -> "Profile":
+        """An independent view for another caller.
+
+        Columnar profiles share the immutable (table, times) backing;
+        record-backed profiles copy the container (records are frozen).
+        """
+        if self._records is None:
+            return Profile(self.device, table=self._table, times=self._times)
+        return Profile(self.device, records=self._records)
 
     def __iter__(self) -> Iterator[KernelProfile]:
         return iter(self.records)
 
     def __len__(self) -> int:
-        return len(self.records)
+        if self._records is None:
+            return len(self._times)
+        return len(self._records)
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Profile):
+            return NotImplemented
+        return self.device == other.device and self.records == other.records
+
+    def __repr__(self) -> str:
+        return f"Profile(device={self.device.name!r}, records={len(self)})"
+
+    # --------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        # Serialize the compact columnar form (rebuilt from the records if
+        # they were materialized/mutated) so cache entries stay small and
+        # loads stay lazy.
+        if self._records is not None:
+            table = KernelTable.from_kernels(r.kernel for r in self._records)
+            times = np.array([r.time_s for r in self._records],
+                             dtype=np.float64)
+        else:
+            table, times = self._table, self._times
+        return {"device": self.device, "table": table, "times": times}
+
+    def __setstate__(self, state: dict) -> None:
+        self.device = state["device"]
+        self._records = None
+        self._table = state["table"]
+        times = state["times"]
+        times.flags.writeable = False
+        self._times = times
+        self._total_cache = None
+
+    # ------------------------------------------------------------ aggregates
     @property
     def total_time(self) -> float:
         """Serialized iteration time in seconds.
@@ -71,9 +157,12 @@ class Profile:
         are append-only after construction, so the cache keys on the
         record count and recomputes whenever it changes.
         """
-        if self._total_cache is None or self._total_cache[0] != len(self.records):
-            self._total_cache = (len(self.records),
-                                 sum(r.time_s for r in self.records))
+        if self._total_cache is None or self._total_cache[0] != len(self):
+            if self._columnar() is not None:
+                total = float(np.sum(self._times))
+            else:
+                total = sum(r.time_s for r in self._records)
+            self._total_cache = (len(self), total)
         return self._total_cache[1]
 
     # ------------------------------------------------------------- selection
@@ -81,22 +170,35 @@ class Profile:
         """Total time of kernels matching ``predicate``."""
         return sum(r.time_s for r in self.records if predicate(r.kernel))
 
-    def time_of(self, *, phase: Phase | None = None,
-                component: Component | None = None,
-                region: Region | None = None,
-                op_class: OpClass | None = None) -> float:
-        """Total time of kernels matching the given attribute filters."""
-        def match(kernel: Kernel) -> bool:
-            if phase is not None and kernel.phase is not phase:
-                return False
-            if component is not None and kernel.component is not component:
-                return False
-            if region is not None and kernel.region is not region:
-                return False
-            if op_class is not None and kernel.op_class is not op_class:
-                return False
-            return True
-        return self.time_where(match)
+    def time_of(self, *, phase: Phase | tuple[Phase, ...] | None = None,
+                component: Component | tuple[Component, ...] | None = None,
+                region: Region | tuple[Region, ...] | None = None,
+                op_class: OpClass | tuple[OpClass, ...] | None = None
+                ) -> float:
+        """Total time of kernels matching the given attribute filters.
+
+        Each filter accepts a single enum member or a tuple of members
+        (matched as a set).  On a columnar-backed profile this is one
+        masked array reduction.
+        """
+        table = self._columnar()
+        if table is not None:
+            mask = table.mask(phase=phase, component=component,
+                              region=region, op_class=op_class)
+            return float(self._times[mask].sum())
+
+        def matches(value, attribute) -> bool:
+            if value is None:
+                return True
+            if isinstance(value, tuple):
+                return attribute in value
+            return attribute is value
+
+        return sum(r.time_s for r in self._records
+                   if matches(phase, r.kernel.phase)
+                   and matches(component, r.kernel.component)
+                   and matches(region, r.kernel.region)
+                   and matches(op_class, r.kernel.op_class))
 
     def fraction_where(self, predicate: Callable[[Kernel], bool]) -> float:
         """Fraction of total time in kernels matching ``predicate``."""
@@ -105,7 +207,17 @@ class Profile:
 
     def gemm_time(self) -> float:
         """Time in (batched) GEMM kernels."""
+        table = self._columnar()
+        if table is not None:
+            return float(self._times[table.is_gemm].sum())
         return self.time_where(lambda k: k.op_class.is_gemm)
+
+    def non_gemm_time(self) -> float:
+        """Time in non-GEMM (memory-bound) kernels."""
+        table = self._columnar()
+        if table is not None:
+            return float(self._times[~table.is_gemm].sum())
+        return self.time_where(lambda k: not k.op_class.is_gemm)
 
     def records_where(self, predicate: Callable[[Kernel], bool]
                       ) -> list[KernelProfile]:
@@ -113,9 +225,14 @@ class Profile:
         return [r for r in self.records if predicate(r.kernel)]
 
 
-def profile_trace(trace_kernels: Iterable[Kernel],
+def profile_trace(trace_kernels: "Iterable[Kernel] | KernelTable",
                   device: DeviceModel) -> Profile:
-    """Time every kernel of a trace on ``device``."""
-    records = [KernelProfile(kernel=k, time_s=kernel_time(k, device))
-               for k in trace_kernels]
-    return Profile(device=device, records=records)
+    """Time every kernel of a trace on ``device``.
+
+    Accepts a :class:`~repro.trace.builder.Trace`, a
+    :class:`KernelTable`, or any kernel iterable; timing runs through the
+    single vectorized entry point :func:`repro.hw.timing.kernel_times`.
+    """
+    table = KernelTable.coerce(trace_kernels)
+    return Profile(device=device, table=table,
+                   times=kernel_times(table, device))

@@ -6,8 +6,11 @@ the cache died with the process, and every caller received the *same
 mutable* ``Trace``/``Profile`` objects, so a downstream transform mutating
 ``trace.kernels`` silently corrupted every later figure.
 
-This cache fixes both.  Entries are pickled ``(Trace, Profile)`` pairs
-stored under a key that is a SHA-256 over
+This cache fixes both.  Entries are pickled ``(Trace, Profile)`` pairs —
+serialized in their compact columnar form (``KernelTable`` arrays plus a
+times array; see ``Trace.__getstate__``/``Profile.__getstate__``) rather
+than as per-kernel object graphs, so entries are small and loads stay
+lazy — stored under a key that is a SHA-256 over
 
 * the :class:`~repro.config.BertConfig` fields,
 * the :class:`~repro.config.TrainingConfig` fields,

@@ -29,7 +29,8 @@ from repro.ops.elementwise import (dropout_backward, dropout_forward,
 from repro.ops.gemm import (GemmShape, attention_output_gemms,
                             attention_score_gemms, linear_layer_gemms)
 from repro.ops.reduction import layernorm_kernels, reduction, softmax_kernels
-from repro.trace.builder import Trace, TraceBuilder
+from repro.trace.builder import Trace
+from repro.trace.kernel_table import KernelTable
 from repro.trace.parameters import bert_parameter_inventory
 
 
@@ -566,34 +567,36 @@ def build_iteration_trace(model: BertConfig,
     loss, output head BWD, encoder layers BWD (N-1..0), embedding BWD,
     optimizer update.  Activation checkpointing, when enabled, is applied as
     a trace transform by :mod:`repro.memoryplan.checkpointing`.
+
+    The encoder layers are all identical except for their layer attribution,
+    so layer 0 is enumerated once per direction and replicated across the
+    remaining layers columnarly (:meth:`KernelTable.tiled`) instead of
+    re-walking the model ``num_layers`` times in FWD and BWD.
     """
-    builder = TraceBuilder(model, training)
-
-    builder.set_layer(None)
-    builder.add(embedding_forward_kernels(model, training))
-    for layer in range(model.num_layers):
-        builder.set_layer(layer)
-        builder.add(transformer_layer_forward_kernels(model, training))
-    builder.set_layer(None)
-    builder.add(output_head_forward_kernels(model, training))
-
-    builder.add(output_head_backward_kernels(model, training))
-    for layer in reversed(range(model.num_layers)):
-        builder.set_layer(layer)
-        builder.add(transformer_layer_backward_kernels(model, training))
-    builder.set_layer(None)
-    builder.add(embedding_backward_kernels(model, training))
-
     # Imported lazily: repro.optim.kernels needs the parameter inventory
     # from this package, so a module-level import would be circular.
     from repro.optim.kernels import optimizer_kernels
 
+    layer_fwd = KernelTable.from_kernels(
+        transformer_layer_forward_kernels(model, training))
+    layer_bwd = KernelTable.from_kernels(
+        transformer_layer_backward_kernels(model, training))
     inventory = bert_parameter_inventory(model)
-    builder.add(optimizer_kernels(training.optimizer, inventory,
-                                  precision=training.precision,
-                                  fused=training.fuse_optimizer))
+    table = KernelTable.concat([
+        KernelTable.from_kernels(embedding_forward_kernels(model, training)),
+        layer_fwd.tiled(range(model.num_layers)),
+        KernelTable.from_kernels(
+            output_head_forward_kernels(model, training)
+            + output_head_backward_kernels(model, training)),
+        layer_bwd.tiled(range(model.num_layers - 1, -1, -1)),
+        KernelTable.from_kernels(
+            embedding_backward_kernels(model, training)
+            + optimizer_kernels(training.optimizer, inventory,
+                                precision=training.precision,
+                                fused=training.fuse_optimizer)),
+    ])
 
-    trace = builder.build()
+    trace = Trace.from_table(model, training, table)
     if training.activation_checkpointing:
         from repro.memoryplan.checkpointing import apply_checkpointing
         trace = apply_checkpointing(trace)

@@ -3,36 +3,128 @@
 A :class:`Trace` is the ordered kernel sequence of one training iteration —
 the software-side analogue of the rocProf kernel trace the paper collects
 (Sec. 3.1.4).  It knows nothing about time; devices assign that later.
+
+Since the columnar engine landed, a trace has two interchangeable
+representations:
+
+* a :class:`~repro.trace.kernel_table.KernelTable` — parallel NumPy columns,
+  produced by the layer-templated generators and consumed by the vectorized
+  timing/aggregation paths and the runner cache;
+* a ``list[Kernel]`` — the original object view, materialized lazily the
+  first time ``trace.kernels`` is touched, so every existing transform
+  (fusion passes, checkpointing, distributed rewrites) keeps working
+  unchanged.
+
+The list, once materialized, is the mutable, authoritative side; the table
+is treated as stale whenever the list's length no longer matches it (the
+same append-safe count keying ``Profile.total_time`` uses).  Tables are
+immutable, so handing the same table to several ``Trace`` views is safe.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.config import BertConfig, TrainingConfig
 from repro.ops.base import Component, Kernel, OpClass, Phase, Region
+from repro.trace.kernel_table import KernelTable
 
 
-@dataclass
 class Trace:
     """Ordered kernel sequence of one training iteration.
 
     Attributes:
         model: model configuration the trace was generated for.
         training: training operating point.
-        kernels: the kernel sequence, in launch order.
+        kernels: the kernel sequence, in launch order (lazily materialized
+            when the trace is table-backed).
+        table: the columnar form (lazily built when the trace is
+            list-backed).
     """
 
-    model: BertConfig
-    training: TrainingConfig
-    kernels: list[Kernel] = field(default_factory=list)
+    def __init__(self, model: BertConfig, training: TrainingConfig,
+                 kernels: list[Kernel] | None = None, *,
+                 table: KernelTable | None = None):
+        self.model = model
+        self.training = training
+        if kernels is None and table is None:
+            kernels = []
+        self._kernels: list[Kernel] | None = (
+            list(kernels) if kernels is not None else None)
+        self._table = table
+        # (kernel count, flops, bytes) backing the cached aggregates;
+        # compared against len() on access so appends invalidate it.
+        self._agg_cache: tuple[int, int, int] | None = None
+
+    @classmethod
+    def from_table(cls, model: BertConfig, training: TrainingConfig,
+                   table: KernelTable) -> "Trace":
+        """A trace view over an existing (immutable) columnar table."""
+        return cls(model, training, kernels=None, table=table)
+
+    # -------------------------------------------------------- representations
+    @property
+    def kernels(self) -> list[Kernel]:
+        """The kernel list, materialized from the table on first access."""
+        if self._kernels is None:
+            self._kernels = self._table.to_kernels()
+        return self._kernels
+
+    @property
+    def table(self) -> KernelTable:
+        """The columnar form, rebuilt whenever the kernel list outgrew it."""
+        if self._table is None or (self._kernels is not None
+                                   and len(self._kernels) != len(self._table)):
+            self._table = KernelTable.from_kernels(self._kernels)
+        return self._table
+
+    def _columnar(self) -> KernelTable | None:
+        """The table, only while it is authoritative (list untouched)."""
+        return self._table if self._kernels is None else None
+
+    def fork(self) -> "Trace":
+        """An independent view for another caller.
+
+        Table-backed traces share the immutable table (cheap); list-backed
+        traces copy the container (kernels themselves are frozen).
+        """
+        if self._kernels is None:
+            return Trace.from_table(self.model, self.training, self._table)
+        return Trace(model=self.model, training=self.training,
+                     kernels=self._kernels)
 
     def __len__(self) -> int:
-        return len(self.kernels)
+        if self._kernels is None:
+            return len(self._table)
+        return len(self._kernels)
 
     def __iter__(self) -> Iterator[Kernel]:
         return iter(self.kernels)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (self.model == other.model and self.training == other.training
+                and self.kernels == other.kernels)
+
+    def __repr__(self) -> str:
+        return (f"Trace(model={self.model.name!r}, "
+                f"training={self.training.label!r}, kernels={len(self)})")
+
+    # --------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        # Always serialize the compact columnar form: the runner cache then
+        # stores a handful of arrays + pools instead of thousands of
+        # dataclass objects, and loads stay lazy.
+        return {"model": self.model, "training": self.training,
+                "table": self.table}
+
+    def __setstate__(self, state: dict) -> None:
+        self.model = state["model"]
+        self.training = state["training"]
+        self._kernels = None
+        self._table = state["table"]
+        self._agg_cache = None
 
     # ------------------------------------------------------------- selection
     def select(self, *, phase: Phase | None = None,
@@ -43,6 +135,15 @@ class Trace:
                predicate: Callable[[Kernel], bool] | None = None
                ) -> list[Kernel]:
         """Kernels matching all the given filters."""
+        table = self._columnar()
+        if table is not None:
+            mask = table.mask(phase=phase, component=component, region=region,
+                              op_class=op_class, layer_index=layer_index)
+            rows = mask.nonzero()[0]
+            kernels = table.kernels_at(rows)
+            if predicate is not None:
+                kernels = [k for k in kernels if predicate(k)]
+            return kernels
         out = []
         for kernel in self.kernels:
             if phase is not None and kernel.phase is not phase:
@@ -62,23 +163,50 @@ class Trace:
 
     def gemms(self) -> list[Kernel]:
         """All (batched) GEMM kernels."""
+        table = self._columnar()
+        if table is not None:
+            return table.kernels_at(table.is_gemm.nonzero()[0])
         return [k for k in self.kernels if k.op_class.is_gemm]
 
     def non_gemms(self) -> list[Kernel]:
         """All non-GEMM kernels."""
+        table = self._columnar()
+        if table is not None:
+            return table.kernels_at((~table.is_gemm).nonzero()[0])
         return [k for k in self.kernels if not k.op_class.is_gemm]
 
     # ------------------------------------------------------------ aggregates
+    def _aggregates(self) -> tuple[int, int]:
+        """(total flops, total bytes), cached with append-safe keying.
+
+        Same O(n²)-under-looping fix as ``Profile.total_time``: sweeps call
+        these per operating point and per report row, so recomputing the
+        sums on every access was quadratic over a session.
+        """
+        if self._agg_cache is None or self._agg_cache[0] != len(self):
+            table = self._columnar()
+            if table is not None:
+                flops = int(table.flops.sum())
+                total_bytes = int(table.bytes_total.sum())
+            else:
+                flops = sum(k.flops for k in self.kernels)
+                total_bytes = sum(k.bytes_total for k in self.kernels)
+            self._agg_cache = (len(self), flops, total_bytes)
+        return self._agg_cache[1], self._agg_cache[2]
+
     @property
     def total_flops(self) -> int:
-        return sum(k.flops for k in self.kernels)
+        return self._aggregates()[0]
 
     @property
     def total_bytes(self) -> int:
-        return sum(k.bytes_total for k in self.kernels)
+        return self._aggregates()[1]
 
     def kernel_count(self, **filters) -> int:
         """Number of kernels matching :meth:`select` filters."""
+        table = self._columnar()
+        if table is not None and "predicate" not in filters:
+            return int(table.mask(**filters).sum())
         return len(self.select(**filters))
 
     def replaced(self, kernels: list[Kernel]) -> "Trace":

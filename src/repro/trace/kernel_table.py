@@ -1,0 +1,336 @@
+"""Columnar (structure-of-arrays) kernel storage.
+
+Every figure in the reproduction flows through the same hot path —
+enumerate a per-kernel trace, time each kernel, aggregate breakdowns.  A
+:class:`KernelTable` stores that kernel sequence as parallel NumPy arrays
+(one per :class:`~repro.ops.base.Kernel` field) instead of a Python list of
+dataclass objects, so the three stages become array operations:
+
+* **generation** replicates an encoder-layer template across the remaining
+  identical layers with :meth:`KernelTable.tiled` (``np.tile`` + a stamped
+  layer-index column) instead of re-walking the model per layer;
+* **timing** (:func:`repro.hw.timing.kernel_times`) batches the GEMM
+  tile-efficiency and achieved-bandwidth models over whole columns;
+* **aggregation** (``select`` / ``time_of`` / breakdowns) becomes masked
+  array reductions over the enum code columns.
+
+Layout: low-cardinality categorical fields (op class, phase, component,
+region, dtype, access pattern) are stored as small integer codes indexed
+into the module-level enum code tables (``OP_CLASSES``, ``PHASES``, ...);
+repeated heavyweight values (kernel names, :class:`GemmShape` records,
+fusion-group labels) are pooled — the column stores an index into the
+table's pool, with ``-1`` meaning absent.  Cost fields (flops, bytes,
+element counts) are ``int64`` columns.
+
+Tables are **immutable**: every array is marked read-only at construction,
+and transforms (``tiled``, ``concat``, ``take``) return new tables.  The
+per-:class:`Kernel` view is materialized lazily and only for the rows a
+caller actually asks for.  This immutability is what lets
+:func:`repro.experiments.common.run_point` hand the same backing table to
+every caller without the defensive deep copies the object representation
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ops.base import (AccessPattern, Component, DType, Kernel, OpClass,
+                            Phase, Region)
+
+# ---------------------------------------------------------------------------
+# Enum code tables.  Codes are positions in these tuples; they are stable
+# within one process *and* across processes as long as the enum definitions
+# keep their declaration order, which is also what the cache code
+# fingerprint keys on (a reordering rotates the cache).
+# ---------------------------------------------------------------------------
+
+OP_CLASSES: tuple[OpClass, ...] = tuple(OpClass)
+PHASES: tuple[Phase, ...] = tuple(Phase)
+COMPONENTS: tuple[Component, ...] = tuple(Component)
+REGIONS: tuple[Region, ...] = tuple(Region)
+DTYPES: tuple[DType, ...] = tuple(DType)
+ACCESS_PATTERNS: tuple[AccessPattern, ...] = tuple(AccessPattern)
+
+_OP_CODE = {member: code for code, member in enumerate(OP_CLASSES)}
+_PHASE_CODE = {member: code for code, member in enumerate(PHASES)}
+_COMPONENT_CODE = {member: code for code, member in enumerate(COMPONENTS)}
+_REGION_CODE = {member: code for code, member in enumerate(REGIONS)}
+_DTYPE_CODE = {member: code for code, member in enumerate(DTYPES)}
+_ACCESS_CODE = {member: code for code, member in enumerate(ACCESS_PATTERNS)}
+
+#: Codes of the (batched) GEMM op classes, for vectorized ``is_gemm`` masks.
+GEMM_OP_CODES: tuple[int, ...] = tuple(
+    _OP_CODE[op] for op in OP_CLASSES if op.is_gemm)
+
+_COMM_OP_CODE = _OP_CODE[OpClass.COMMUNICATION]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+class KernelTable:
+    """An immutable kernel sequence stored as parallel columns.
+
+    Attributes (all length ``len(self)`` unless noted):
+        name_code: ``int32`` index into ``names``.
+        names: pooled kernel-name strings.
+        op_class / phase / component / region / dtype / access: ``int8``
+            codes into the module-level enum tables.
+        flops / bytes_read / bytes_written / n_elements: ``int64`` costs.
+        layer: ``int32`` encoder-layer index, ``-1`` for ``None``.
+        gemm_code: ``int32`` index into ``gemms``, ``-1`` for non-GEMMs.
+        gemms: pooled :class:`~repro.ops.gemm.GemmShape` records.
+        fusion_code: ``int32`` index into ``fusion_groups``, ``-1`` for
+            ``None``.
+        fusion_groups: pooled fusion-group labels.
+    """
+
+    __slots__ = ("name_code", "names", "op_class", "phase", "component",
+                 "region", "dtype", "access", "flops", "bytes_read",
+                 "bytes_written", "n_elements", "layer", "gemm_code",
+                 "gemms", "fusion_code", "fusion_groups")
+
+    def __init__(self, *, name_code, names, op_class, phase, component,
+                 region, dtype, access, flops, bytes_read, bytes_written,
+                 n_elements, layer, gemm_code, gemms, fusion_code,
+                 fusion_groups):
+        self.name_code = _frozen(np.asarray(name_code, dtype=np.int32))
+        self.names = tuple(names)
+        self.op_class = _frozen(np.asarray(op_class, dtype=np.int8))
+        self.phase = _frozen(np.asarray(phase, dtype=np.int8))
+        self.component = _frozen(np.asarray(component, dtype=np.int8))
+        self.region = _frozen(np.asarray(region, dtype=np.int8))
+        self.dtype = _frozen(np.asarray(dtype, dtype=np.int8))
+        self.access = _frozen(np.asarray(access, dtype=np.int8))
+        self.flops = _frozen(np.asarray(flops, dtype=np.int64))
+        self.bytes_read = _frozen(np.asarray(bytes_read, dtype=np.int64))
+        self.bytes_written = _frozen(np.asarray(bytes_written,
+                                                dtype=np.int64))
+        self.n_elements = _frozen(np.asarray(n_elements, dtype=np.int64))
+        self.layer = _frozen(np.asarray(layer, dtype=np.int32))
+        self.gemm_code = _frozen(np.asarray(gemm_code, dtype=np.int32))
+        self.gemms = tuple(gemms)
+        self.fusion_code = _frozen(np.asarray(fusion_code, dtype=np.int32))
+        self.fusion_groups = tuple(fusion_groups)
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_kernels(cls, kernels: Iterable[Kernel]) -> "KernelTable":
+        """Build a table from a kernel sequence (pooling repeated values)."""
+        kernels = list(kernels)
+        name_pool: dict[str, int] = {}
+        gemm_pool: dict[object, int] = {}
+        fusion_pool: dict[str, int] = {}
+        columns = {key: [] for key in cls.__slots__
+                   if key not in ("names", "gemms", "fusion_groups")}
+        for k in kernels:
+            columns["name_code"].append(
+                name_pool.setdefault(k.name, len(name_pool)))
+            columns["op_class"].append(_OP_CODE[k.op_class])
+            columns["phase"].append(_PHASE_CODE[k.phase])
+            columns["component"].append(_COMPONENT_CODE[k.component])
+            columns["region"].append(_REGION_CODE[k.region])
+            columns["dtype"].append(_DTYPE_CODE[k.dtype])
+            columns["access"].append(_ACCESS_CODE[k.access])
+            columns["flops"].append(k.flops)
+            columns["bytes_read"].append(k.bytes_read)
+            columns["bytes_written"].append(k.bytes_written)
+            columns["n_elements"].append(k.n_elements)
+            columns["layer"].append(
+                -1 if k.layer_index is None else k.layer_index)
+            columns["gemm_code"].append(
+                -1 if k.gemm is None
+                else gemm_pool.setdefault(k.gemm, len(gemm_pool)))
+            columns["fusion_code"].append(
+                -1 if k.fusion_group is None
+                else fusion_pool.setdefault(k.fusion_group, len(fusion_pool)))
+        return cls(names=tuple(name_pool), gemms=tuple(gemm_pool),
+                   fusion_groups=tuple(fusion_pool), **columns)
+
+    @classmethod
+    def concat(cls, tables: Sequence["KernelTable"]) -> "KernelTable":
+        """Concatenate tables, merging their pools."""
+        name_pool: dict[str, int] = {}
+        gemm_pool: dict[object, int] = {}
+        fusion_pool: dict[str, int] = {}
+        name_cols, gemm_cols, fusion_cols = [], [], []
+        for table in tables:
+            name_cols.append(_remap(table.name_code, table.names, name_pool))
+            gemm_cols.append(_remap(table.gemm_code, table.gemms, gemm_pool))
+            fusion_cols.append(_remap(table.fusion_code, table.fusion_groups,
+                                      fusion_pool))
+
+        def cat(attr: str) -> np.ndarray:
+            return np.concatenate([getattr(t, attr) for t in tables])
+
+        return cls(
+            name_code=np.concatenate(name_cols), names=tuple(name_pool),
+            op_class=cat("op_class"), phase=cat("phase"),
+            component=cat("component"), region=cat("region"),
+            dtype=cat("dtype"), access=cat("access"), flops=cat("flops"),
+            bytes_read=cat("bytes_read"), bytes_written=cat("bytes_written"),
+            n_elements=cat("n_elements"), layer=cat("layer"),
+            gemm_code=np.concatenate(gemm_cols), gemms=tuple(gemm_pool),
+            fusion_code=np.concatenate(fusion_cols),
+            fusion_groups=tuple(fusion_pool))
+
+    def tiled(self, layer_indices: Iterable[int]) -> "KernelTable":
+        """Replicate this table once per layer index, stamping attribution.
+
+        This is the layer-templating primitive: enumerate encoder layer 0
+        once, then stamp copies for the remaining identical layers.  Rows
+        whose layer index is already set keep it (mirroring
+        :meth:`TraceBuilder.add`, which only stamps unattributed kernels).
+        """
+        indices = np.asarray(list(layer_indices), dtype=np.int32)
+        reps = len(indices)
+        layer = np.tile(self.layer, reps)
+        stamp = np.repeat(indices, len(self))
+        layer = np.where(layer == -1, stamp, layer)
+
+        def t(attr: str) -> np.ndarray:
+            return np.tile(getattr(self, attr), reps)
+
+        return type(self)(
+            name_code=t("name_code"), names=self.names,
+            op_class=t("op_class"), phase=t("phase"),
+            component=t("component"), region=t("region"), dtype=t("dtype"),
+            access=t("access"), flops=t("flops"),
+            bytes_read=t("bytes_read"), bytes_written=t("bytes_written"),
+            n_elements=t("n_elements"), layer=layer,
+            gemm_code=t("gemm_code"), gemms=self.gemms,
+            fusion_code=t("fusion_code"), fusion_groups=self.fusion_groups)
+
+    def take(self, indices: np.ndarray) -> "KernelTable":
+        """A new table of the given rows (pools are shared, not re-deduped)."""
+        def g(attr: str) -> np.ndarray:
+            return getattr(self, attr)[indices]
+
+        return type(self)(
+            name_code=g("name_code"), names=self.names,
+            op_class=g("op_class"), phase=g("phase"),
+            component=g("component"), region=g("region"), dtype=g("dtype"),
+            access=g("access"), flops=g("flops"),
+            bytes_read=g("bytes_read"), bytes_written=g("bytes_written"),
+            n_elements=g("n_elements"), layer=g("layer"),
+            gemm_code=g("gemm_code"), gemms=self.gemms,
+            fusion_code=g("fusion_code"), fusion_groups=self.fusion_groups)
+
+    @classmethod
+    def coerce(cls, kernels) -> "KernelTable":
+        """Accept a table, a table-backed trace, or any kernel iterable."""
+        if isinstance(kernels, cls):
+            return kernels
+        table = getattr(kernels, "table", None)
+        if isinstance(table, cls):
+            return table
+        return cls.from_kernels(kernels)
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.op_class)
+
+    @property
+    def bytes_total(self) -> np.ndarray:
+        """Per-kernel total device-memory traffic."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def is_gemm(self) -> np.ndarray:
+        """Mask of (batched) GEMM rows."""
+        mask = self.op_class == GEMM_OP_CODES[0]
+        for code in GEMM_OP_CODES[1:]:
+            mask |= self.op_class == code
+        return mask
+
+    @property
+    def is_communication(self) -> np.ndarray:
+        """Mask of communication rows."""
+        return self.op_class == _COMM_OP_CODE
+
+    def mask(self, *, phase=None, component=None, region=None, op_class=None,
+             layer_index=None) -> np.ndarray:
+        """Boolean row mask for the given attribute filters.
+
+        ``phase`` / ``component`` / ``region`` / ``op_class`` accept a single
+        enum member or a tuple of members (matched as a set).
+        """
+        mask = np.ones(len(self), dtype=bool)
+        for value, column, codes in (
+                (phase, self.phase, _PHASE_CODE),
+                (component, self.component, _COMPONENT_CODE),
+                (region, self.region, _REGION_CODE),
+                (op_class, self.op_class, _OP_CODE)):
+            if value is None:
+                continue
+            members = value if isinstance(value, tuple) else (value,)
+            sub = column == codes[members[0]]
+            for member in members[1:]:
+                sub |= column == codes[member]
+            mask &= sub
+        if layer_index is not None:
+            mask &= self.layer == (-1 if layer_index is None else layer_index)
+        return mask
+
+    # ---------------------------------------------------------------- views
+    def kernel(self, row: int) -> Kernel:
+        """Materialize one row as a :class:`Kernel`."""
+        gemm_code = int(self.gemm_code[row])
+        fusion_code = int(self.fusion_code[row])
+        layer = int(self.layer[row])
+        return Kernel(
+            name=self.names[int(self.name_code[row])],
+            op_class=OP_CLASSES[int(self.op_class[row])],
+            phase=PHASES[int(self.phase[row])],
+            component=COMPONENTS[int(self.component[row])],
+            region=REGIONS[int(self.region[row])],
+            flops=int(self.flops[row]),
+            bytes_read=int(self.bytes_read[row]),
+            bytes_written=int(self.bytes_written[row]),
+            dtype=DTYPES[int(self.dtype[row])],
+            access=ACCESS_PATTERNS[int(self.access[row])],
+            layer_index=None if layer < 0 else layer,
+            gemm=None if gemm_code < 0 else self.gemms[gemm_code],
+            fusion_group=(None if fusion_code < 0
+                          else self.fusion_groups[fusion_code]),
+            n_elements=int(self.n_elements[row]))
+
+    def kernels_at(self, rows: Iterable[int]) -> list[Kernel]:
+        """Materialize only the given rows."""
+        return [self.kernel(int(row)) for row in rows]
+
+    def to_kernels(self) -> list[Kernel]:
+        """Materialize the whole table as a kernel list."""
+        return [self.kernel(row) for row in range(len(self))]
+
+    def __iter__(self) -> Iterator[Kernel]:
+        return iter(self.to_kernels())
+
+    def __repr__(self) -> str:
+        return (f"KernelTable({len(self)} kernels, "
+                f"{len(self.names)} names, {len(self.gemms)} gemm shapes)")
+
+    # --------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot in self.__slots__:
+            value = state[slot]
+            if isinstance(value, np.ndarray):
+                value = _frozen(value)
+            setattr(self, slot, value)
+
+
+def _remap(codes: np.ndarray, pool: tuple, merged: dict) -> np.ndarray:
+    """Translate one table's pool codes into the merged pool's codes."""
+    translation = np.empty(len(pool) + 1, dtype=np.int32)
+    translation[-1] = -1  # codes of -1 index the sentinel slot
+    for local, item in enumerate(pool):
+        translation[local] = merged.setdefault(item, len(merged))
+    return translation[codes]

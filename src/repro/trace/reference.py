@@ -1,0 +1,166 @@
+"""Reference (pre-columnar) trace/profile implementations.
+
+The columnar engine — layer-templated builds in
+:mod:`repro.trace.bert_trace`, the batched timing of
+:func:`repro.hw.timing.kernel_times`, the masked-reduction aggregation of
+:class:`~repro.profiler.profiler.Profile` — is an *optimization*, not a
+model change: every operating point must produce the same kernels with the
+same times.  This module keeps the original implementations alive as the
+oracle that claim is checked against:
+
+* :func:`reference_iteration_trace` / :func:`reference_inference_trace` /
+  :func:`reference_finetuning_trace` re-walk the model once per encoder
+  layer through :class:`~repro.trace.builder.TraceBuilder`, exactly as the
+  seed did, instead of stamping a layer-0 template;
+* :func:`reference_profile` times kernels one by one through the scalar
+  :func:`repro.hw.timing.kernel_time`;
+* :func:`reference_summarize` computes the headline fractions by predicate
+  scans over the record list.
+
+``tests/test_profile_engine_golden.py`` runs both engines over the
+registry's operating points and requires identical kernels, bit-identical
+per-kernel times, and matching breakdown fractions.
+``benchmarks/bench_profile_engine.py`` uses the same functions as the
+honest "before" timings.
+"""
+
+from __future__ import annotations
+
+from repro.config import BertConfig, TrainingConfig
+from repro.hw.device import DeviceModel
+from repro.hw.timing import kernel_time
+from repro.ops.base import Component, Kernel
+from repro.profiler.profiler import KernelProfile, Profile
+from repro.trace.bert_trace import (embedding_backward_kernels,
+                                    embedding_forward_kernels,
+                                    output_head_backward_kernels,
+                                    output_head_forward_kernels,
+                                    transformer_layer_backward_kernels,
+                                    transformer_layer_forward_kernels)
+from repro.trace.builder import Trace, TraceBuilder
+from repro.trace.parameters import bert_parameter_inventory
+
+
+def reference_iteration_trace(model: BertConfig,
+                              training: TrainingConfig) -> Trace:
+    """Pre-training iteration trace via the per-layer builder walk."""
+    builder = TraceBuilder(model, training)
+
+    builder.set_layer(None)
+    builder.add(embedding_forward_kernels(model, training))
+    for layer in range(model.num_layers):
+        builder.set_layer(layer)
+        builder.add(transformer_layer_forward_kernels(model, training))
+    builder.set_layer(None)
+    builder.add(output_head_forward_kernels(model, training))
+
+    builder.add(output_head_backward_kernels(model, training))
+    for layer in reversed(range(model.num_layers)):
+        builder.set_layer(layer)
+        builder.add(transformer_layer_backward_kernels(model, training))
+    builder.set_layer(None)
+    builder.add(embedding_backward_kernels(model, training))
+
+    from repro.optim.kernels import optimizer_kernels
+
+    inventory = bert_parameter_inventory(model)
+    builder.add(optimizer_kernels(training.optimizer, inventory,
+                                  precision=training.precision,
+                                  fused=training.fuse_optimizer))
+
+    trace = builder.build()
+    if training.activation_checkpointing:
+        from repro.memoryplan.checkpointing import apply_checkpointing
+        trace = apply_checkpointing(trace)
+    return trace
+
+
+def reference_inference_trace(model: BertConfig,
+                              training: TrainingConfig) -> Trace:
+    """Inference trace via the per-layer builder walk."""
+    from repro.trace.variants import _strip_dropout
+
+    builder = TraceBuilder(model, training)
+    builder.add(_strip_dropout(embedding_forward_kernels(model, training)))
+    for layer in range(model.num_layers):
+        builder.set_layer(layer)
+        builder.add(_strip_dropout(
+            transformer_layer_forward_kernels(model, training)))
+    builder.set_layer(None)
+    builder.add(_inference_head_kernels(model, training))
+    return builder.build()
+
+
+def _inference_head_kernels(model: BertConfig,
+                            training: TrainingConfig) -> list[Kernel]:
+    """MLM-style projection head without the loss kernels."""
+    from repro.ops.gemm import linear_layer_gemms
+    from repro.ops.reduction import softmax_kernels
+    from repro.trace.bert_trace import _activation_dtype, _gemm_kernel
+    from repro.ops.base import Phase, Region
+
+    dtype = _activation_dtype(training)
+    tokens = training.tokens_per_iteration
+    d, vocab = model.d_model, model.vocab_size
+    decoder = linear_layer_gemms(d, vocab, tokens)
+    kernels = [_gemm_kernel("mlm.decoder.fwd", decoder["fwd"], dtype=dtype,
+                            phase=Phase.FORWARD, region=Region.OUTPUT,
+                            component=Component.OUTPUT)]
+    kernels.extend(softmax_kernels(rows=tokens, row_len=vocab, dtype=dtype,
+                                   phase=Phase.FORWARD, region=Region.LOSS,
+                                   component=Component.OUTPUT,
+                                   name_prefix="mlm.softmax"))
+    return kernels
+
+
+def reference_finetuning_trace(model: BertConfig, training: TrainingConfig,
+                               num_labels: int = 2) -> Trace:
+    """Fine-tuning trace via the per-layer builder walk."""
+    from repro.optim.kernels import optimizer_kernels
+    from repro.trace.variants import (finetuning_head_backward_kernels,
+                                      finetuning_head_forward_kernels)
+
+    builder = TraceBuilder(model, training)
+    builder.add(embedding_forward_kernels(model, training))
+    for layer in range(model.num_layers):
+        builder.set_layer(layer)
+        builder.add(transformer_layer_forward_kernels(model, training))
+    builder.set_layer(None)
+    builder.add(finetuning_head_forward_kernels(model, training, num_labels))
+    builder.add(finetuning_head_backward_kernels(model, training,
+                                                 num_labels))
+    for layer in reversed(range(model.num_layers)):
+        builder.set_layer(layer)
+        builder.add(transformer_layer_backward_kernels(model, training))
+    builder.set_layer(None)
+    builder.add(embedding_backward_kernels(model, training))
+    builder.add(optimizer_kernels(training.optimizer,
+                                  bert_parameter_inventory(model),
+                                  precision=training.precision,
+                                  fused=training.fuse_optimizer))
+    return builder.build()
+
+
+def reference_profile(trace: Trace, device: DeviceModel) -> Profile:
+    """Scalar per-kernel timing loop producing a record-backed profile."""
+    records = [KernelProfile(kernel=k, time_s=kernel_time(k, device))
+               for k in trace.kernels]
+    return Profile(device=device, records=records)
+
+
+def reference_summarize(profile: Profile) -> dict[str, float]:
+    """Headline fractions by predicate scans (the pre-columnar semantics)."""
+    return {
+        "total_time_s": profile.total_time,
+        "transformer": profile.fraction_where(
+            lambda k: k.component is Component.TRANSFORMER),
+        "output": profile.fraction_where(
+            lambda k: k.component is Component.OUTPUT),
+        "embedding": profile.fraction_where(
+            lambda k: k.component is Component.EMBEDDING),
+        "optimizer": profile.fraction_where(
+            lambda k: k.component is Component.OPTIMIZER),
+        "gemm": profile.fraction_where(lambda k: k.op_class.is_gemm),
+        "non_gemm": profile.fraction_where(
+            lambda k: not k.op_class.is_gemm),
+    }

@@ -21,7 +21,8 @@ from repro.trace.bert_trace import (_activation_dtype, _bias_grad_kernel,
                                     embedding_forward_kernels,
                                     transformer_layer_backward_kernels,
                                     transformer_layer_forward_kernels)
-from repro.trace.builder import Trace, TraceBuilder
+from repro.trace.builder import Trace
+from repro.trace.kernel_table import KernelTable
 from repro.trace.parameters import bert_parameter_inventory
 
 
@@ -33,27 +34,28 @@ def build_inference_trace(model: BertConfig,
     output head still projects every position (encoder-as-a-service
     setting), so the vocabulary GEMM remains.
     """
-    builder = TraceBuilder(model, training)
-    builder.add(_strip_dropout(embedding_forward_kernels(model, training)))
-    for layer in range(model.num_layers):
-        builder.set_layer(layer)
-        builder.add(_strip_dropout(
-            transformer_layer_forward_kernels(model, training)))
-    builder.set_layer(None)
-
     # MLM-style projection head without the loss kernels.
     dtype = _activation_dtype(training)
     tokens = training.tokens_per_iteration
     d, vocab = model.d_model, model.vocab_size
     decoder = linear_layer_gemms(d, vocab, tokens)
-    builder.add(_gemm_kernel("mlm.decoder.fwd", decoder["fwd"], dtype=dtype,
-                             phase=Phase.FORWARD, region=Region.OUTPUT,
-                             component=Component.OUTPUT))
-    builder.add(softmax_kernels(rows=tokens, row_len=vocab, dtype=dtype,
+    head = [_gemm_kernel("mlm.decoder.fwd", decoder["fwd"], dtype=dtype,
+                         phase=Phase.FORWARD, region=Region.OUTPUT,
+                         component=Component.OUTPUT)]
+    head.extend(softmax_kernels(rows=tokens, row_len=vocab, dtype=dtype,
                                 phase=Phase.FORWARD, region=Region.LOSS,
                                 component=Component.OUTPUT,
                                 name_prefix="mlm.softmax"))
-    return builder.build()
+
+    layer_fwd = KernelTable.from_kernels(_strip_dropout(
+        transformer_layer_forward_kernels(model, training)))
+    table = KernelTable.concat([
+        KernelTable.from_kernels(
+            _strip_dropout(embedding_forward_kernels(model, training))),
+        layer_fwd.tiled(range(model.num_layers)),
+        KernelTable.from_kernels(head),
+    ])
+    return Trace.from_table(model, training, table)
 
 
 def finetuning_head_forward_kernels(model: BertConfig,
@@ -120,25 +122,25 @@ def build_finetuning_trace(model: BertConfig, training: TrainingConfig,
     """
     from repro.optim.kernels import optimizer_kernels
 
-    builder = TraceBuilder(model, training)
-    builder.add(embedding_forward_kernels(model, training))
-    for layer in range(model.num_layers):
-        builder.set_layer(layer)
-        builder.add(transformer_layer_forward_kernels(model, training))
-    builder.set_layer(None)
-    builder.add(finetuning_head_forward_kernels(model, training, num_labels))
-    builder.add(finetuning_head_backward_kernels(model, training,
-                                                 num_labels))
-    for layer in reversed(range(model.num_layers)):
-        builder.set_layer(layer)
-        builder.add(transformer_layer_backward_kernels(model, training))
-    builder.set_layer(None)
-    builder.add(embedding_backward_kernels(model, training))
-    builder.add(optimizer_kernels(training.optimizer,
-                                  bert_parameter_inventory(model),
-                                  precision=training.precision,
-                                  fused=training.fuse_optimizer))
-    return builder.build()
+    layer_fwd = KernelTable.from_kernels(
+        transformer_layer_forward_kernels(model, training))
+    layer_bwd = KernelTable.from_kernels(
+        transformer_layer_backward_kernels(model, training))
+    table = KernelTable.concat([
+        KernelTable.from_kernels(embedding_forward_kernels(model, training)),
+        layer_fwd.tiled(range(model.num_layers)),
+        KernelTable.from_kernels(
+            finetuning_head_forward_kernels(model, training, num_labels)
+            + finetuning_head_backward_kernels(model, training, num_labels)),
+        layer_bwd.tiled(range(model.num_layers - 1, -1, -1)),
+        KernelTable.from_kernels(
+            embedding_backward_kernels(model, training)
+            + optimizer_kernels(training.optimizer,
+                                bert_parameter_inventory(model),
+                                precision=training.precision,
+                                fused=training.fuse_optimizer)),
+    ])
+    return Trace.from_table(model, training, table)
 
 
 def _strip_dropout(kernels: list[Kernel]) -> list[Kernel]:
