@@ -15,11 +15,13 @@ bench:
 experiments:
 	python -m repro run all
 
-# Tier-1 gate: the full test suite plus a parallel end-to-end smoke of
-# every registered experiment (exercises the runner, cache and manifest).
+# Tier-1 gate: the full test suite, a parallel end-to-end smoke of
+# every registered experiment (exercises the runner, cache and manifest),
+# and a validated Perfetto export (exercises the observability layer).
 verify:
 	PYTHONPATH=src python -m pytest tests/ -x -q
 	PYTHONPATH=src python -m repro run all --jobs 2
+	PYTHONPATH=src python scripts/check_perfetto.py perfetto-smoke
 
 examples:
 	python examples/quickstart.py

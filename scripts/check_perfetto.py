@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI smoke check of the Perfetto export path.
+
+Runs ``repro export --format perfetto`` on one registry operating point
+(and the Fig. 11 multi-device timelines), then re-validates the written
+JSON from disk: parseable, schema-clean (``validate_chrome_trace``),
+non-empty, and — for the profile export — slice durations summing to the
+profile's total time.  Exits nonzero on any problem.
+
+Usage::
+
+    python scripts/check_perfetto.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.experiments.common import run_point
+from repro.experiments.points import resolve_point
+from repro.obs.timeline_export import validate_chrome_trace
+
+POINT = "fig3.ph1-b32-fp32"
+
+
+def _check(path: Path, *, expect_total_us: float | None = None) -> None:
+    payload = json.loads(path.read_text())
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise SystemExit(f"{path}: invalid trace: {'; '.join(problems)}")
+    slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    if not slices:
+        raise SystemExit(f"{path}: no slices")
+    if expect_total_us is not None:
+        total_us = sum(e["dur"] for e in slices)
+        if abs(total_us - expect_total_us) > 1e-6 * expect_total_us:
+            raise SystemExit(
+                f"{path}: slice durations sum to {total_us} us, "
+                f"profile says {expect_total_us} us")
+    print(f"ok: {path} ({len(slices)} slices)")
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("perfetto-smoke")
+    out.mkdir(parents=True, exist_ok=True)
+
+    point_path = out / "fig3_point.json"
+    if repro_main(["export", "--format", "perfetto", POINT,
+                   str(point_path)]):
+        raise SystemExit(f"export of {POINT} failed")
+    _, profile = run_point(*resolve_point(POINT))
+    _check(point_path, expect_total_us=profile.total_time * 1e6)
+
+    fig11_path = out / "fig11_timelines.json"
+    if repro_main(["export", "--format", "perfetto", "fig11",
+                   str(fig11_path)]):
+        raise SystemExit("export of fig11 failed")
+    _check(fig11_path)
+
+
+if __name__ == "__main__":
+    main()

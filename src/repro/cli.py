@@ -6,6 +6,10 @@ Usage::
     python -m repro run fig3
     python -m repro run all --jobs 4
     python -m repro report
+    python -m repro spans
+    python -m repro stats
+    python -m repro export fig8 /tmp/fig8.csv
+    python -m repro export --format perfetto fig3.ph1-b32-fp32 /tmp/t.json
     python -m repro cache info
     python -m repro info
 
@@ -39,14 +43,31 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="skip writing the runs/<timestamp>.json manifest")
 
     export = commands.add_parser(
-        "export", help="run an experiment and write its rows as CSV")
-    export.add_argument("experiment", help="experiment id, e.g. fig3")
-    export.add_argument("path", help="destination CSV file")
+        "export",
+        help="write an experiment's rows as CSV, or an operating "
+             "point's kernel timeline as Perfetto/Chrome-trace JSON")
+    export.add_argument("experiment",
+                        help="experiment id (csv), operating-point id such "
+                             "as fig3.ph1-b32-fp32, or fig11 (perfetto)")
+    export.add_argument("path", help="destination file")
+    export.add_argument("--format", choices=("csv", "perfetto"),
+                        default="csv", dest="fmt",
+                        help="output format (default csv)")
 
     report = commands.add_parser(
         "report", help="summarize the most recent run manifest")
     report.add_argument("--run", metavar="PATH", default=None,
                         help="manifest file (default: latest under runs/)")
+
+    spans = commands.add_parser(
+        "spans", help="span timing summary of a run manifest")
+    spans.add_argument("--run", metavar="PATH", default=None,
+                       help="manifest file (default: latest under runs/)")
+
+    stats = commands.add_parser(
+        "stats", help="metrics (counters/hit rates) of a run manifest")
+    stats.add_argument("--run", metavar="PATH", default=None,
+                       help="manifest file (default: latest under runs/)")
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the result cache")
@@ -124,19 +145,79 @@ def _cmd_run(experiment_id: str, jobs: int, write_manifest: bool,
     return 1 if failures else 0
 
 
-def _cmd_report(run_path: str | None) -> int:
+def _cmd_export_perfetto(target: str, path: str) -> int:
+    from repro.experiments.points import POINT_REGISTRY, resolve_point
+    from repro.obs.timeline_export import (device_timelines_to_chrome_trace,
+                                           profile_to_chrome_trace,
+                                           validate_chrome_trace,
+                                           write_chrome_trace)
+
+    if target == "fig11":
+        from repro.experiments import fig11
+        payload = device_timelines_to_chrome_trace(fig11.run())
+    elif target in POINT_REGISTRY:
+        from repro.experiments.common import run_point
+        model, training = resolve_point(target)
+        _, profile = run_point(model, training)
+        payload = profile_to_chrome_trace(
+            profile, label=f"{model.name} {training.label}")
+    else:
+        print(f"unknown perfetto export target {target!r}; valid targets: "
+              f"{', '.join(sorted(POINT_REGISTRY))}, fig11",
+              file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(payload)
+    if problems:  # defensive: exporters always emit valid traces
+        print("invalid trace: " + "; ".join(problems), file=sys.stderr)
+        return 1
+    write_chrome_trace(payload, path)
+    events = len(payload["traceEvents"])
+    print(f"wrote {path} ({events} events; open in ui.perfetto.dev)")
+    return 0
+
+
+def _load_manifest_or_complain(run_path: str | None):
     from pathlib import Path
 
     from repro.runner.manifest import (latest_manifest_path, load_manifest,
-                                       render_manifest, runs_dir)
+                                       runs_dir)
 
     path = Path(run_path) if run_path else latest_manifest_path()
     if path is None or not path.is_file():
         where = run_path if run_path else f"{runs_dir()}/"
         print(f"no run manifest found at {where}; "
               "run `repro run all` first", file=sys.stderr)
+        return None
+    return load_manifest(path)
+
+
+def _cmd_report(run_path: str | None) -> int:
+    from repro.runner.manifest import render_manifest
+
+    manifest = _load_manifest_or_complain(run_path)
+    if manifest is None:
         return 1
-    print(render_manifest(load_manifest(path)))
+    print(render_manifest(manifest))
+    return 0
+
+
+def _cmd_spans(run_path: str | None) -> int:
+    from repro.runner.manifest import render_spans
+
+    manifest = _load_manifest_or_complain(run_path)
+    if manifest is None:
+        return 1
+    print(render_spans(manifest))
+    return 0
+
+
+def _cmd_stats(run_path: str | None) -> int:
+    from repro.runner.manifest import render_stats
+
+    manifest = _load_manifest_or_complain(run_path)
+    if manifest is None:
+        return 1
+    print(render_stats(manifest))
     return 0
 
 
@@ -199,6 +280,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                         write_manifest=not args.no_manifest,
                         fresh=args.fresh)
     if args.command == "export":
+        if args.fmt == "perfetto":
+            return _cmd_export_perfetto(args.experiment, args.path)
         from repro.experiments.sweeps import export_experiment_csv
         try:
             export_experiment_csv(args.experiment, args.path)
@@ -209,6 +292,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "report":
         return _cmd_report(args.run)
+    if args.command == "spans":
+        return _cmd_spans(args.run)
+    if args.command == "stats":
+        return _cmd_stats(args.run)
     if args.command == "cache":
         return _cmd_cache(args.action)
     if args.command == "info":

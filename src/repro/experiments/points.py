@@ -1,0 +1,49 @@
+"""Named operating points addressable from the CLI.
+
+``repro export --format perfetto <point>`` needs a stable vocabulary of
+operating-point ids that maps onto the paper's configurations.  This
+module derives it from the same presets the figures use:
+
+* ``fig3.ph1-b32-fp32`` ... — the five Fig. 3 points on BERT Large
+  (ids are the paper labels, lowercased);
+* ``tiny.ph1-b2-fp32`` — BERT Tiny at B=2, a two-layer point small
+  enough for golden-file tests and CI smoke runs.
+
+Each id resolves to a ``(model, training)`` pair; callers profile it via
+:func:`repro.experiments.common.run_point` on the frozen default device.
+"""
+
+from __future__ import annotations
+
+from repro.config import (BERT_LARGE, BERT_TINY, FIG3_POINTS, BertConfig,
+                          Precision, TrainingConfig, training_point)
+
+
+def point_id(figure: str, training: TrainingConfig) -> str:
+    """The CLI id of one operating point, e.g. ``fig3.ph1-b32-fp32``."""
+    return f"{figure}.{training.label.lower()}"
+
+
+def _build_registry() -> dict[str, tuple[BertConfig, TrainingConfig]]:
+    registry: dict[str, tuple[BertConfig, TrainingConfig]] = {}
+    for training in FIG3_POINTS:
+        registry[point_id("fig3", training)] = (BERT_LARGE, training)
+    tiny = training_point(1, 2, Precision.FP32)
+    registry[point_id("tiny", tiny)] = (BERT_TINY, tiny)
+    return registry
+
+
+#: id -> (model, training) for every exportable operating point.
+POINT_REGISTRY: dict[str, tuple[BertConfig, TrainingConfig]] = \
+    _build_registry()
+
+
+def resolve_point(point: str) -> tuple[BertConfig, TrainingConfig]:
+    """Look up one operating point by id; raises ``KeyError`` with the
+    valid vocabulary on an unknown id."""
+    try:
+        return POINT_REGISTRY[point]
+    except KeyError:
+        raise KeyError(
+            f"unknown operating point {point!r}; valid ids: "
+            f"{', '.join(sorted(POINT_REGISTRY))}") from None

@@ -33,8 +33,15 @@ import numpy as np
 
 from repro.hw.device import DeviceModel
 from repro.hw.gemm_model import batch_gemm_times, gemm_time
+from repro.obs import metrics, spans
 from repro.ops.base import DType, Kernel, OpClass
 from repro.trace.kernel_table import ACCESS_PATTERNS, DTYPES, KernelTable
+
+#: GEMM-time memo traffic, labeled ``result=hit|miss``.  One lookup per
+#: distinct ``(shape, dtype)`` pair per :func:`kernel_times` call — a few
+#: dozen per trace — so the counter costs nothing on the hot path.
+_MEMO_LOOKUPS = metrics.counter(
+    "gemm_memo.lookups", "GEMM-time memo lookups by result")
 
 
 def _vector_peak(device: DeviceModel, dtype: DType) -> float:
@@ -129,6 +136,7 @@ def _gemm_rows_times(table: KernelTable, rows: np.ndarray,
     pair = (table.gemm_code[pure_rows].astype(np.int64) * len(DTYPES)
             + table.dtype[pure_rows])
     unique_pairs, inverse = np.unique(pair, return_inverse=True)
+    lookups = len(unique_pairs)
     values = np.empty(len(unique_pairs), dtype=np.float64)
     todo: list[tuple[int, int, int]] = []  # (slot, gemm code, dtype code)
     for slot, pair_code in enumerate(unique_pairs):
@@ -147,6 +155,10 @@ def _gemm_rows_times(table: KernelTable, rows: np.ndarray,
             time_s = float(time_s)
             values[slot] = time_s
             memo[(table.gemms[gemm_code], DTYPES[dtype_code])] = time_s
+    if len(todo):
+        _MEMO_LOOKUPS.inc(len(todo), result="miss")
+    if lookups - len(todo):
+        _MEMO_LOOKUPS.inc(lookups - len(todo), result="hit")
     out[pure_rows] = values[inverse]
 
 
@@ -160,6 +172,13 @@ def kernel_times(kernels: "KernelTable | Iterable[Kernel]",
     :func:`kernel_time` row by row.
     """
     table = KernelTable.coerce(kernels)
+    with spans.span("timing.kernel_times", kernels=len(table),
+                    device=device.name):
+        return _kernel_times_table(table, device)
+
+
+def _kernel_times_table(table: KernelTable,
+                        device: DeviceModel) -> np.ndarray:
     comm = table.is_communication.nonzero()[0]
     if len(comm):
         name = table.names[int(table.name_code[comm[0]])]

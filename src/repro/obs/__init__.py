@@ -1,0 +1,29 @@
+"""Observability layer: span tracing, metrics, timeline export.
+
+The simulator's own instrumentation — :mod:`repro.obs.spans` traces where
+a run spends wall-clock, :mod:`repro.obs.metrics` counts what the caches
+and memos did, and :mod:`repro.obs.timeline_export` renders simulated
+kernel streams and multi-device timelines as Chrome Trace Event JSON for
+ui.perfetto.dev / chrome://tracing.  See ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               diff_snapshots, get_registry, hit_rates,
+                               merge_snapshots)
+from repro.obs.spans import (Span, SpanTracer, aggregate_spans, annotate,
+                             get_tracer, merge_span_summaries, span, traced)
+from repro.obs.timeline_export import (collective_run_to_chrome_trace,
+                                       device_timelines_to_chrome_trace,
+                                       profile_to_chrome_trace,
+                                       spans_to_chrome_trace,
+                                       validate_chrome_trace,
+                                       write_chrome_trace)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span", "SpanTracer",
+    "aggregate_spans", "annotate", "collective_run_to_chrome_trace",
+    "device_timelines_to_chrome_trace", "diff_snapshots", "get_registry",
+    "get_tracer", "hit_rates", "merge_snapshots", "merge_span_summaries",
+    "profile_to_chrome_trace", "span", "spans_to_chrome_trace", "traced",
+    "validate_chrome_trace", "write_chrome_trace",
+]

@@ -1,0 +1,305 @@
+"""Span tracer: nested timing instrumentation of the simulator itself.
+
+The paper's methodology is observability of *training*; this module is
+observability of *the reproduction* — where does a ``repro run`` spend its
+own wall-clock?  Hot paths (trace build, vectorized timing, breakdown
+aggregation, cache traffic, experiment lifecycle) open a :func:`span`
+around their work; when tracing is enabled, every span records its wall
+time, nesting (parent/depth) and a few key=value attributes.
+
+Design constraints, in priority order:
+
+* **Near-zero cost when disabled.**  Spans wrap the hot paths of every
+  experiment, so the disabled path is a single attribute check returning a
+  shared no-op context manager — the acceptance gate is <= 5% overhead on
+  ``benchmarks/bench_profile_engine.py``.
+* **Thread safety.**  The active-span stack lives in ``threading.local``:
+  spans opened on different threads nest independently (the same fix
+  satellite work applies to :mod:`repro.runner.telemetry`).  The finished
+  list is guarded by a lock.
+* **Nestable and scoped.**  :meth:`SpanTracer.capture` bounds a recording
+  scope (the executor opens one per experiment) and returns the spans
+  finished inside it, so parallel workers each dump their own spans into
+  their :class:`~repro.runner.executor.ExperimentResult`.
+
+Spans are plain data afterwards: :func:`aggregate_spans` folds them into
+the per-name summary stored in run manifests, and
+:func:`repro.obs.timeline_export.spans_to_chrome_trace` lays the raw spans
+out on a Perfetto-loadable timeline.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One finished (or still open) span.
+
+    Attributes:
+        name: dotted span name, e.g. ``"timing.kernel_times"``.
+        category: coarse grouping used as the Chrome-trace ``cat`` field.
+        start_s: start timestamp (``time.perf_counter`` domain).
+        end_s: end timestamp; equals ``start_s`` until the span closes.
+        thread_id: ``threading.get_ident()`` of the opening thread.
+        span_id: id unique within one tracer.
+        parent_id: enclosing span's ``span_id``, or ``-1`` at the root.
+        depth: nesting depth (root spans are 0).
+        attrs: small JSON-able key=value payload.
+    """
+
+    name: str
+    category: str = "repro"
+    start_s: float = 0.0
+    end_s: float = 0.0
+    thread_id: int = 0
+    span_id: int = 0
+    parent_id: int = -1
+    depth: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "thread_id": self.thread_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the tracing-disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager that closes one span on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._finish(self.span)
+
+
+class SpanTracer:
+    """A collector of nested spans.
+
+    Disabled by default; :meth:`capture` (or :meth:`enable`) turns it on.
+    All mutating operations are thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: list[Span] = []
+        self._enabled = False
+        self._next_id = 0
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> list[Span]:
+        """Drain and return every finished span."""
+        with self._lock:
+            spans, self._finished = self._finished, []
+        return spans
+
+    # ---------------------------------------------------------------- spans
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, category: str = "repro", **attrs):
+        """Open a span; use as ``with tracer.span("trace.build"): ...``.
+
+        When tracing is disabled this returns a shared no-op context
+        manager without allocating anything.
+        """
+        if not self._enabled:
+            return _NOOP
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = Span(
+            name=name, category=category,
+            start_s=time.perf_counter(), end_s=0.0,
+            thread_id=threading.get_ident(), span_id=span_id,
+            parent_id=parent.span_id if parent is not None else -1,
+            depth=parent.depth + 1 if parent is not None else 0,
+            attrs=attrs)
+        stack.append(record)
+        return _ActiveSpan(self, record)
+
+    def _finish(self, span: Span) -> None:
+        span.end_s = time.perf_counter()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # mis-nested exit (generator abandoned mid-span): drop it
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self._finished.append(span)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (no-op outside)."""
+        span = self.current()
+        if span is not None:
+            span.attrs.update(attrs)
+
+    # -------------------------------------------------------------- scoping
+    def capture(self) -> "_CaptureScope":
+        """Enable tracing for a scope and collect the spans it finishes.
+
+        Scopes may nest: inner scopes hand their spans to the outer scope
+        as well, and tracing stays enabled until the outermost scope
+        closes (if it was disabled before).
+        """
+        return _CaptureScope(self)
+
+
+class _CaptureScope:
+    """Context manager bounding one recording scope."""
+
+    def __init__(self, tracer: SpanTracer):
+        self._tracer = tracer
+        self._was_enabled = False
+        self._start_index = 0
+        self.spans: list[Span] = []
+
+    def __enter__(self) -> "_CaptureScope":
+        self._was_enabled = self._tracer.enabled
+        with self._tracer._lock:
+            self._start_index = len(self._tracer._finished)
+        self._tracer.enable()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._was_enabled:
+            self._tracer.disable()
+        with self._tracer._lock:
+            self.spans = self._tracer._finished[self._start_index:]
+            if not self._was_enabled:
+                # Outermost scope: drain what it (and any inner scopes)
+                # recorded so the next capture starts clean.
+                del self._tracer._finished[self._start_index:]
+
+
+# The process-wide tracer every instrumented module reports into.
+_tracer = SpanTracer()
+
+
+def get_tracer() -> SpanTracer:
+    """The process-wide tracer instance."""
+    return _tracer
+
+
+def span(name: str, category: str = "repro", **attrs):
+    """Open a span on the process-wide tracer (module-level convenience)."""
+    if not _tracer._enabled:  # inlined fast path for the hot call sites
+        return _NOOP
+    return _tracer.span(name, category, **attrs)
+
+
+def annotate(**attrs) -> None:
+    """Attach attributes to the innermost open span, if tracing is on."""
+    if _tracer._enabled:
+        _tracer.annotate(**attrs)
+
+
+def traced(name: str | None = None, category: str = "repro"):
+    """Decorator tracing every call of a function as one span."""
+    def decorate(function):
+        span_name = name or f"{function.__module__}.{function.__qualname__}"
+
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            if not _tracer._enabled:
+                return function(*args, **kwargs)
+            with _tracer.span(span_name, category):
+                return function(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+def aggregate_spans(spans: list[Span]) -> dict[str, dict[str, float]]:
+    """Fold raw spans into the per-name summary stored in run manifests.
+
+    Returns ``{name: {count, total_s, max_s}}``; iteration order follows
+    first appearance, which is launch order for single-threaded runs.
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for record in spans:
+        entry = summary.setdefault(
+            record.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += record.duration_s
+        entry["max_s"] = max(entry["max_s"], record.duration_s)
+    for entry in summary.values():
+        entry["total_s"] = round(entry["total_s"], 9)
+        entry["max_s"] = round(entry["max_s"], 9)
+    return summary
+
+
+def merge_span_summaries(summaries: "list[dict[str, dict[str, float]]]"
+                         ) -> dict[str, dict[str, float]]:
+    """Merge per-experiment span summaries into one run-level summary."""
+    merged: dict[str, dict[str, float]] = {}
+    for summary in summaries:
+        for name, entry in summary.items():
+            into = merged.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            into["count"] += entry.get("count", 0)
+            into["total_s"] = round(into["total_s"]
+                                    + entry.get("total_s", 0.0), 9)
+            into["max_s"] = max(into["max_s"], entry.get("max_s", 0.0))
+    return merged

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import spans
 from repro.ops.base import Component, Region
 from repro.profiler.profiler import Profile
 
@@ -129,17 +130,19 @@ def memory_bound_fraction(profile: Profile) -> float:
 
 def summarize(profile: Profile) -> dict[str, float]:
     """Headline fractions used across experiments and tests."""
-    total = profile.total_time
+    with spans.span("breakdown.summarize", kernels=len(profile)):
+        total = profile.total_time
 
-    def share(component: Component) -> float:
-        return profile.time_of(component=component) / total if total else 0.0
+        def share(component: Component) -> float:
+            return (profile.time_of(component=component) / total
+                    if total else 0.0)
 
-    return {
-        "total_time_s": total,
-        "transformer": share(Component.TRANSFORMER),
-        "output": share(Component.OUTPUT),
-        "embedding": share(Component.EMBEDDING),
-        "optimizer": optimizer_fraction(profile),
-        "gemm": gemm_fraction(profile),
-        "non_gemm": memory_bound_fraction(profile),
-    }
+        return {
+            "total_time_s": total,
+            "transformer": share(Component.TRANSFORMER),
+            "output": share(Component.OUTPUT),
+            "embedding": share(Component.EMBEDDING),
+            "optimizer": optimizer_fraction(profile),
+            "gemm": gemm_fraction(profile),
+            "non_gemm": memory_bound_fraction(profile),
+        }

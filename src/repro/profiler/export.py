@@ -14,6 +14,15 @@ import json
 
 from repro.profiler.profiler import Profile
 
+#: Bumped when the export layout changes.  Version 2 stamps the JSON
+#: payload with this field and writes un-attributed kernels as
+#: ``layer=-1`` (the columnar engine's absent code) instead of an empty
+#: CSV cell, so ``int(row["layer"])`` is always well-defined.
+EXPORT_SCHEMA_VERSION = 2
+
+#: CSV ``layer`` value of kernels outside any encoder layer.
+NO_LAYER = -1
+
 #: Column order of the CSV export (a superset of rocprof's essentials).
 CSV_COLUMNS = ("index", "kernel_name", "op_class", "phase", "component",
                "region", "layer", "duration_us", "flops", "bytes_read",
@@ -31,7 +40,8 @@ def _rows(profile: Profile):
             "phase": kernel.phase.value,
             "component": kernel.component.value,
             "region": kernel.region.value,
-            "layer": "" if kernel.layer_index is None else kernel.layer_index,
+            "layer": (NO_LAYER if kernel.layer_index is None
+                      else kernel.layer_index),
             "duration_us": round(record.time_s * 1e6, 3),
             "flops": kernel.flops,
             "bytes_read": kernel.bytes_read,
@@ -78,6 +88,7 @@ def profile_summary(profile: Profile) -> dict[str, object]:
 def to_json(profile: Profile) -> str:
     """Render the profile as JSON: device header, summary, kernel rows."""
     payload = {
+        "schema": EXPORT_SCHEMA_VERSION,
         "device": {
             "name": profile.device.name,
             "mem_bandwidth_gbps": profile.device.mem_bandwidth_gbps,

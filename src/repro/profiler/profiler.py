@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.hw.device import DeviceModel
 from repro.hw.timing import kernel_times
+from repro.obs import spans
 from repro.ops.base import Component, Kernel, OpClass, Phase, Region
 from repro.trace.kernel_table import KernelTable
 
@@ -234,5 +235,7 @@ def profile_trace(trace_kernels: "Iterable[Kernel] | KernelTable",
     single vectorized entry point :func:`repro.hw.timing.kernel_times`.
     """
     table = KernelTable.coerce(trace_kernels)
-    return Profile(device=device, table=table,
-                   times=kernel_times(table, device))
+    with spans.span("profile.trace", kernels=len(table),
+                    device=device.name):
+        return Profile(device=device, table=table,
+                       times=kernel_times(table, device))

@@ -44,8 +44,16 @@ from pathlib import Path
 
 from repro.config import BertConfig, TrainingConfig
 from repro.hw.device import DeviceModel
+from repro.obs import metrics, spans
 from repro.profiler.profiler import Profile
 from repro.trace.builder import Trace
+
+#: Registry view of the cache counters CacheStats also tracks, labeled
+#: ``result=hit|miss|eviction`` so ``repro stats`` can derive hit rates.
+_CACHE_REQUESTS = metrics.counter(
+    "result_cache.requests", "disk-cache reads by result")
+_CACHE_WRITES = metrics.counter(
+    "result_cache.writes", "disk-cache entries written")
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -181,24 +189,32 @@ class ResultCache:
     def get_payload(self, key: str):
         """Load any pickled entry; ``None`` on miss/corruption."""
         path = self._path(key)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except Exception:
-            # Torn write, truncation, or a pickle from an incompatible
-            # version: drop the entry and recompute.
-            self.stats.evictions += 1
-            self.stats.misses += 1
+        with spans.span("cache.get", key=key[:12]):
             try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.stats.hits += 1
-        return payload
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                _CACHE_REQUESTS.inc(result="miss")
+                spans.annotate(result="miss")
+                return None
+            except Exception:
+                # Torn write, truncation, or a pickle from an incompatible
+                # version: drop the entry and recompute.
+                self.stats.evictions += 1
+                self.stats.misses += 1
+                _CACHE_REQUESTS.inc(result="miss")
+                _CACHE_REQUESTS.inc(result="eviction")
+                spans.annotate(result="eviction")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            self.stats.hits += 1
+            _CACHE_REQUESTS.inc(result="hit")
+            spans.annotate(result="hit")
+            return payload
 
     def put_payload(self, key: str, payload) -> None:
         """Store any picklable entry atomically (concurrency-safe)."""
@@ -206,17 +222,21 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         handle, tmp_name = tempfile.mkstemp(dir=path.parent,
                                             suffix=".tmp")
-        try:
-            with os.fdopen(handle, "wb") as tmp:
-                pickle.dump(payload, tmp,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with spans.span("cache.put", key=key[:12]):
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(handle, "wb") as tmp:
+                    pickle.dump(payload, tmp,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            _CACHE_WRITES.inc()
+            if spans.get_tracer().enabled:  # stat only when traced
+                spans.annotate(bytes=path.stat().st_size)
 
     def get(self, key: str) -> tuple[Trace, Profile] | None:
         """Load a ``(Trace, Profile)`` entry; ``None`` on miss/corruption."""

@@ -7,10 +7,15 @@ batch out over worker processes (``--jobs N``), and always returns
 results in the requested order so output is deterministic whatever the
 completion order was.
 
-Each experiment is wrapped in a :mod:`repro.runner.telemetry` collector,
-so its result carries wall-clock time, cache hit/miss counts, kernel
-counts, and — where the experiment's rows self-report a pass/fail verdict
-(Table 1's takeaway checks) — a paper-band summary.
+Each experiment is wrapped in a :mod:`repro.runner.telemetry` collector
+*and* an observability scope — a :meth:`~repro.obs.spans.SpanTracer.
+capture` recording the spans the instrumented subsystems open, plus a
+metrics-registry snapshot diff — so its result carries wall-clock time,
+cache hit/miss counts, kernel counts, a span summary, per-experiment
+metric deltas, and — where the experiment's rows self-report a pass/fail
+verdict (Table 1's takeaway checks) — a paper-band summary.  This works
+identically in ``--jobs N`` worker processes: each worker's registry
+starts empty and the deltas ride home in the pickled result.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.obs import metrics, spans
 from repro.runner import telemetry
 
 
@@ -36,6 +42,9 @@ class ExperimentResult:
         counters: telemetry counters (cache hits/misses, kernels, points).
         bands: ``{"passed": n, "failed": m}`` when the experiment's rows
             carry a boolean ``holds`` verdict, else ``None``.
+        spans: per-span-name ``{count, total_s, max_s}`` summary of the
+            spans recorded while the experiment ran.
+        metrics: metrics-registry delta (what this experiment changed).
     """
 
     experiment_id: str
@@ -45,6 +54,8 @@ class ExperimentResult:
     duration_s: float = 0.0
     counters: dict[str, int] = field(default_factory=dict)
     bands: dict[str, int] | None = None
+    spans: dict[str, dict] = field(default_factory=dict)
+    metrics: dict[str, dict] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -53,6 +64,8 @@ class ExperimentResult:
             "error": self.error,
             "duration_s": round(self.duration_s, 6),
             "bands": self.bands,
+            "spans": self.spans,
+            "metrics": self.metrics,
             **self.counters,
         }
 
@@ -83,6 +96,8 @@ def run_one(experiment_id: str,
     from repro.runner.cache import get_cache
 
     started = time.perf_counter()
+    registry = metrics.get_registry()
+    before = registry.snapshot()
     cache = get_cache()
     cache_key = None
     if experiment_id in REGISTRY:
@@ -97,27 +112,39 @@ def run_one(experiment_id: str,
                     output=payload["output"],
                     duration_s=time.perf_counter() - started,
                     counters={"experiment_cached": 1},
-                    bands=payload.get("bands"))
+                    bands=payload.get("bands"),
+                    metrics=metrics.diff_snapshots(before,
+                                                   registry.snapshot()))
 
-    with telemetry.collect() as counters:
-        try:
-            experiment = REGISTRY[experiment_id]
-            result = experiment.run()
-            output = experiment.render(result)
-        except Exception:
-            return ExperimentResult(
-                experiment_id=experiment_id, ok=False,
-                error=traceback.format_exc(),
-                duration_s=time.perf_counter() - started,
-                counters=counters.as_dict())
+    with spans.get_tracer().capture() as scope, \
+            telemetry.collect() as counters:
+        with spans.span(f"experiment.{experiment_id}",
+                        category="experiment"):
+            try:
+                experiment = REGISTRY[experiment_id]
+                result = experiment.run()
+                output = experiment.render(result)
+            except Exception:
+                return ExperimentResult(
+                    experiment_id=experiment_id, ok=False,
+                    error=traceback.format_exc(),
+                    duration_s=time.perf_counter() - started,
+                    counters=counters.as_dict())
     bands = _band_summary(result)
     if cache_key is not None:
         cache.put_payload(cache_key, {"output": output, "bands": bands})
+    duration_s = time.perf_counter() - started
+    metrics.histogram(
+        "experiment.duration_s",
+        "per-experiment wall-clock").observe(duration_s,
+                                             experiment=experiment_id)
     return ExperimentResult(
         experiment_id=experiment_id, ok=True, output=output,
-        duration_s=time.perf_counter() - started,
+        duration_s=duration_s,
         counters={**counters.as_dict(), "experiment_cached": 0},
-        bands=bands)
+        bands=bands,
+        spans=spans.aggregate_spans(scope.spans),
+        metrics=metrics.diff_snapshots(before, registry.snapshot()))
 
 
 def run_experiments(experiment_ids: list[str], jobs: int = 1,

@@ -18,19 +18,43 @@ import os
 import time
 from pathlib import Path
 
+from repro.obs import metrics as metrics_module
+from repro.obs import spans as spans_module
 from repro.runner.cache import CacheStats
 from repro.runner.executor import ExperimentResult
 
 #: Environment variable overriding the manifest directory.
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
 
-#: Bumped when the manifest layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: Bumped when the manifest layout changes incompatibly.  Version 2 added
+#: the additive ``observability`` section (merged span summary, metrics
+#: snapshot, derived hit rates) and per-experiment ``spans``/``metrics``;
+#: version-1 readers that ignore unknown keys still parse it.
+SCHEMA_VERSION = 2
 
 
 def runs_dir() -> Path:
     """The active manifest directory (``REPRO_RUNS_DIR`` or ``./runs``)."""
     return Path(os.environ.get(RUNS_DIR_ENV, "runs"))
+
+
+def build_observability(results: list[ExperimentResult]) -> dict:
+    """Run-level observability section: spans, metrics, derived rates.
+
+    Per-experiment span summaries and metric deltas (recorded by
+    :func:`repro.runner.executor.run_one`, including inside worker
+    processes) merge into one run-wide view, with ``<metric>.hit_rate``
+    derived for every ``result=hit|miss``-labeled counter — the result
+    cache, the ``run_point`` resolutions and the GEMM-time memo.
+    """
+    merged_metrics = metrics_module.merge_snapshots(
+        [r.metrics for r in results if r.metrics])
+    return {
+        "spans": spans_module.merge_span_summaries(
+            [r.spans for r in results if r.spans]),
+        "metrics": merged_metrics,
+        "hit_rates": metrics_module.hit_rates(merged_metrics),
+    }
 
 
 def build_manifest(results: list[ExperimentResult], *, jobs: int,
@@ -55,6 +79,7 @@ def build_manifest(results: list[ExperimentResult], *, jobs: int,
         "cache_dir": cache_dir,
         "cache_stats": cache_stats.as_dict() if cache_stats else None,
         "totals": totals,
+        "observability": build_observability(results),
         "experiments": [r.as_dict() for r in results],
     }
 
@@ -89,6 +114,62 @@ def latest_manifest_path(directory: Path | None = None) -> Path | None:
 def load_manifest(path: Path) -> dict:
     """Parse one manifest file."""
     return json.loads(Path(path).read_text())
+
+
+def render_spans(manifest: dict) -> str:
+    """Span summary of one manifest (the body of ``repro spans``)."""
+    from repro.report.tables import format_table
+
+    observability = manifest.get("observability") or {}
+    span_summary = observability.get("spans") or {}
+    if not span_summary:
+        return ("no spans recorded in this manifest "
+                "(run `repro run <experiment>` first)")
+    ordered = sorted(span_summary.items(),
+                     key=lambda item: item[1].get("total_s", 0.0),
+                     reverse=True)
+    rows = [(name, entry.get("count", 0),
+             f"{entry.get('total_s', 0.0) * 1e3:.2f} ms",
+             f"{entry.get('max_s', 0.0) * 1e3:.2f} ms")
+            for name, entry in ordered]
+    table = format_table(("span", "count", "total", "max"), rows)
+    total_s = sum(e.get("total_s", 0.0) for e in span_summary.values())
+    return (f"spans of run {manifest.get('created_utc', '?')}  "
+            f"command={manifest.get('command', '?')!r}\n\n{table}\n\n"
+            f"{len(span_summary)} span names, "
+            f"{sum(e.get('count', 0) for e in span_summary.values())} spans, "
+            f"{total_s * 1e3:.2f} ms total traced time")
+
+
+def render_stats(manifest: dict) -> str:
+    """Metrics summary of one manifest (the body of ``repro stats``)."""
+    from repro.report.tables import format_table
+
+    observability = manifest.get("observability") or {}
+    snapshot = observability.get("metrics") or {}
+    if not snapshot:
+        return ("no metrics recorded in this manifest "
+                "(run `repro run <experiment>` first)")
+    rows = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        for label_key in sorted(entry.get("series", {})):
+            value = entry["series"][label_key]
+            if entry.get("kind") == "histogram":
+                mean = value["sum"] / value["count"] if value["count"] else 0
+                shown = (f"count={value['count']} mean={mean:.4g} "
+                         f"min={value['min']:.4g} max={value['max']:.4g}")
+            else:
+                shown = value
+            rows.append((name, entry.get("kind", "?"), label_key or "-",
+                         shown))
+    table = format_table(("metric", "kind", "labels", "value"), rows)
+    rates = observability.get("hit_rates") or {}
+    rate_lines = "\n".join(f"  {name}: {value:.1%}"
+                           for name, value in sorted(rates.items()))
+    footer = f"\nhit rates:\n{rate_lines}" if rate_lines else ""
+    return (f"metrics of run {manifest.get('created_utc', '?')}  "
+            f"command={manifest.get('command', '?')!r}\n\n{table}{footer}")
 
 
 def render_manifest(manifest: dict) -> str:

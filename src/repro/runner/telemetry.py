@@ -1,4 +1,4 @@
-"""Per-experiment run telemetry.
+"""Per-experiment run telemetry (legacy shim over :mod:`repro.obs.metrics`).
 
 While an experiment executes, :func:`repro.experiments.common.run_point`
 reports every operating point it resolves — cache hit or miss, and the
@@ -9,13 +9,32 @@ counts to individual figures.
 
 Collectors nest (a stack, not a single global): an experiment that
 internally replays another experiment's points still attributes them to
-itself, and code outside any collector is simply not counted.
+itself, and code outside any collector is simply not counted.  The stack
+is ``threading.local`` — ``run all --jobs N`` runs experiments in worker
+*processes*, but in-process thread pools (and tests) must not interleave
+collectors across threads, which a module-level list did.
+
+This module predates the unified metrics registry
+(:mod:`repro.obs.metrics`) and is kept because the run-manifest schema
+exposes its counters per experiment.  ``record_point`` feeds both: the
+nested collector (the manifest view) and the process-wide registry
+(``run_point.resolutions`` / ``run_point.kernels``), so ``repro stats``
+and the manifest always agree.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
+
+from repro.obs import metrics
+
+#: Registry view of every resolved operating point, ``result=hit|miss``.
+_POINT_RESOLUTIONS = metrics.counter(
+    "run_point.resolutions", "operating-point resolutions by cache result")
+_POINT_KERNELS = metrics.counter(
+    "run_point.kernels", "kernels in resolved profiles")
 
 
 @dataclass
@@ -42,6 +61,8 @@ class Telemetry:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+        _POINT_RESOLUTIONS.inc(result="hit" if hit else "miss")
+        _POINT_KERNELS.inc(kernels)
 
     def as_dict(self) -> dict[str, int]:
         return {"cache_hits": self.cache_hits,
@@ -50,20 +71,29 @@ class Telemetry:
                 "points": self.points}
 
 
-_stack: list[Telemetry] = []
+_local = threading.local()
+
+
+def _stack() -> list[Telemetry]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
 
 
 def current() -> Telemetry | None:
-    """The innermost active collector, if any."""
-    return _stack[-1] if _stack else None
+    """The innermost collector active *on this thread*, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
 
 
 @contextlib.contextmanager
 def collect():
     """Context manager opening a fresh collector for one experiment."""
     telemetry = Telemetry()
-    _stack.append(telemetry)
+    stack = _stack()
+    stack.append(telemetry)
     try:
         yield telemetry
     finally:
-        _stack.pop()
+        stack.pop()

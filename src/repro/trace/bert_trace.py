@@ -22,6 +22,7 @@ Layout conventions:
 from __future__ import annotations
 
 from repro.config import BertConfig, Precision, TrainingConfig
+from repro.obs import spans
 from repro.ops.base import (AccessPattern, Component, DType, Kernel, OpClass,
                             Phase, Region)
 from repro.ops.elementwise import (dropout_backward, dropout_forward,
@@ -577,27 +578,31 @@ def build_iteration_trace(model: BertConfig,
     # from this package, so a module-level import would be circular.
     from repro.optim.kernels import optimizer_kernels
 
-    layer_fwd = KernelTable.from_kernels(
-        transformer_layer_forward_kernels(model, training))
-    layer_bwd = KernelTable.from_kernels(
-        transformer_layer_backward_kernels(model, training))
-    inventory = bert_parameter_inventory(model)
-    table = KernelTable.concat([
-        KernelTable.from_kernels(embedding_forward_kernels(model, training)),
-        layer_fwd.tiled(range(model.num_layers)),
-        KernelTable.from_kernels(
-            output_head_forward_kernels(model, training)
-            + output_head_backward_kernels(model, training)),
-        layer_bwd.tiled(range(model.num_layers - 1, -1, -1)),
-        KernelTable.from_kernels(
-            embedding_backward_kernels(model, training)
-            + optimizer_kernels(training.optimizer, inventory,
-                                precision=training.precision,
-                                fused=training.fuse_optimizer)),
-    ])
+    with spans.span("trace.build_iteration", model=model.name,
+                    point=training.label):
+        layer_fwd = KernelTable.from_kernels(
+            transformer_layer_forward_kernels(model, training))
+        layer_bwd = KernelTable.from_kernels(
+            transformer_layer_backward_kernels(model, training))
+        inventory = bert_parameter_inventory(model)
+        table = KernelTable.concat([
+            KernelTable.from_kernels(
+                embedding_forward_kernels(model, training)),
+            layer_fwd.tiled(range(model.num_layers)),
+            KernelTable.from_kernels(
+                output_head_forward_kernels(model, training)
+                + output_head_backward_kernels(model, training)),
+            layer_bwd.tiled(range(model.num_layers - 1, -1, -1)),
+            KernelTable.from_kernels(
+                embedding_backward_kernels(model, training)
+                + optimizer_kernels(training.optimizer, inventory,
+                                    precision=training.precision,
+                                    fused=training.fuse_optimizer)),
+        ])
 
-    trace = Trace.from_table(model, training, table)
-    if training.activation_checkpointing:
-        from repro.memoryplan.checkpointing import apply_checkpointing
-        trace = apply_checkpointing(trace)
+        trace = Trace.from_table(model, training, table)
+        if training.activation_checkpointing:
+            from repro.memoryplan.checkpointing import apply_checkpointing
+            trace = apply_checkpointing(trace)
+        spans.annotate(kernels=len(trace))
     return trace

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator
 
 from repro.config import BertConfig, TrainingConfig
+from repro.obs import spans
 from repro.ops.base import Component, Kernel, OpClass, Phase, Region
 from repro.trace.kernel_table import KernelTable
 
@@ -75,7 +76,9 @@ class Trace:
         """The columnar form, rebuilt whenever the kernel list outgrew it."""
         if self._table is None or (self._kernels is not None
                                    and len(self._kernels) != len(self._table)):
-            self._table = KernelTable.from_kernels(self._kernels)
+            with spans.span("trace.columnarize",
+                            kernels=len(self._kernels)):
+                self._table = KernelTable.from_kernels(self._kernels)
         return self._table
 
     def _columnar(self) -> KernelTable | None:
@@ -250,4 +253,6 @@ class TraceBuilder:
 
     def build(self) -> Trace:
         """Finish and return the trace."""
-        return self._trace
+        with spans.span("trace.builder.build", model=self.model.name,
+                        kernels=len(self._trace)):
+            return self._trace

@@ -85,7 +85,9 @@ class TestManifest:
         manifests = list(runs_dir.glob("*.json"))
         assert len(manifests) == 1
         payload = json.loads(manifests[0].read_text())
-        assert payload["schema"] == 1
+        from repro.runner.manifest import SCHEMA_VERSION
+        assert payload["schema"] == SCHEMA_VERSION
+        assert "observability" in payload
         assert payload["command"] == "run all"
         assert payload["totals"]["experiments"] == 3
         assert payload["totals"]["failed"] == 1
@@ -111,6 +113,30 @@ class TestManifest:
 
     def test_report_without_runs_exits_1(self, runs_dir, capsys):
         assert main(["report"]) == 1
+        assert "no run manifest" in capsys.readouterr().err
+
+    def test_spans_renders_observability(self, stub_registry, runs_dir,
+                                         capsys):
+        main(["run", "alpha", "--fresh"])
+        capsys.readouterr()
+        assert main(["spans"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.alpha" in out
+        assert "count" in out
+
+    def test_stats_renders_metrics(self, stub_registry, runs_dir, capsys):
+        main(["run", "alpha", "--fresh"])
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.duration_s" in out
+
+    def test_spans_without_runs_exits_1(self, runs_dir, capsys):
+        assert main(["spans"]) == 1
+        assert "no run manifest" in capsys.readouterr().err
+
+    def test_stats_without_runs_exits_1(self, runs_dir, capsys):
+        assert main(["stats"]) == 1
         assert "no run manifest" in capsys.readouterr().err
 
 

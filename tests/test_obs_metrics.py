@@ -1,0 +1,211 @@
+"""Tests for the metrics registry (:mod:`repro.obs.metrics`) and the
+``threading.local`` telemetry regression (satellite of the observability
+PR: the old module-level stack interleaved collectors across threads)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (MetricsRegistry, diff_snapshots, hit_rates,
+                               merge_snapshots)
+from repro.runner import telemetry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_labeled_series_are_independent(self, registry):
+        counter = registry.counter("c")
+        counter.inc(result="hit")
+        counter.inc(3, result="miss")
+        assert counter.value(result="hit") == 1
+        assert counter.value(result="miss") == 3
+        assert counter.value() == 0
+
+    def test_label_key_is_order_insensitive(self, registry):
+        counter = registry.counter("c")
+        counter.inc(a=1, b=2)
+        counter.inc(b=2, a=1)
+        assert counter.value(b=2, a=1) == 2
+        assert registry.snapshot()["c"]["series"] == {"a=1,b=2": 2}
+
+    def test_counters_only_go_up(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_keeps_last_write(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(1.5)
+        gauge.set(0.5)
+        assert gauge.value() == 0.5
+
+    def test_histogram_stats(self, registry):
+        histogram = registry.histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.stats() == {"count": 3, "sum": 6.0,
+                                     "min": 1.0, "max": 3.0}
+        assert histogram.stats(experiment="none") is None
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("c")
+        with pytest.raises(TypeError):
+            registry.gauge("c")
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c").inc(result="hit")
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {"kind": "counter",
+                                 "series": {"result=hit": 1}}
+        assert snapshot["h"]["kind"] == "histogram"
+        assert snapshot["h"]["series"][""]["count"] == 1
+
+    def test_snapshot_is_detached(self, registry):
+        counter = registry.counter("c")
+        counter.inc()
+        snapshot = registry.snapshot()
+        counter.inc()
+        assert snapshot["c"]["series"][""] == 1
+
+    def test_thread_safety(self, registry):
+        counter = registry.counter("c")
+
+        def work():
+            for _ in range(1000):
+                counter.inc(result="hit")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(result="hit") == 4000
+
+
+class TestSnapshotAlgebra:
+    def test_diff_counters_and_drop_zero(self, registry):
+        counter = registry.counter("c")
+        counter.inc(5, result="hit")
+        before = registry.snapshot()
+        counter.inc(2, result="hit")
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta == {"c": {"kind": "counter",
+                               "series": {"result=hit": 2}}}
+
+    def test_diff_histograms(self, registry):
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        before = registry.snapshot()
+        histogram.observe(5.0)
+        delta = diff_snapshots(before, registry.snapshot())
+        entry = delta["h"]["series"][""]
+        assert entry["count"] == 1
+        assert entry["sum"] == 5.0
+
+    def test_diff_of_identical_snapshots_is_empty(self, registry):
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        assert diff_snapshots(snapshot, snapshot) == {}
+
+    def test_merge_adds_counters_and_widens_histograms(self):
+        one = {"c": {"kind": "counter", "series": {"result=hit": 2}},
+               "h": {"kind": "histogram",
+                     "series": {"": {"count": 1, "sum": 1.0,
+                                     "min": 1.0, "max": 1.0}}}}
+        two = {"c": {"kind": "counter", "series": {"result=hit": 3,
+                                                   "result=miss": 1}},
+               "h": {"kind": "histogram",
+                     "series": {"": {"count": 2, "sum": 7.0,
+                                     "min": 0.5, "max": 6.5}}}}
+        merged = merge_snapshots([one, two])
+        assert merged["c"]["series"] == {"result=hit": 5, "result=miss": 1}
+        assert merged["h"]["series"][""] == {"count": 3, "sum": 8.0,
+                                             "min": 0.5, "max": 6.5}
+
+    def test_hit_rates(self):
+        snapshot = {
+            "cache": {"kind": "counter",
+                      "series": {"result=hit": 3, "result=miss": 1}},
+            "quiet": {"kind": "counter", "series": {}},
+            "g": {"kind": "gauge", "series": {"": 1.0}},
+        }
+        assert hit_rates(snapshot) == {"cache.hit_rate": 0.75}
+
+
+class TestTelemetryThreadLocal:
+    """Regression: the collector stack used to be one module-level list
+    shared by every thread, so concurrent collectors attributed each
+    other's points.  It is now ``threading.local``."""
+
+    def test_collectors_do_not_leak_across_threads(self):
+        errors: list[str] = []
+        barrier = threading.Barrier(4)
+
+        def work(index):
+            with telemetry.collect() as collector:
+                barrier.wait()  # all four collectors open at once
+                for _ in range(25):
+                    collector_now = telemetry.current()
+                    if collector_now is not collector:
+                        errors.append(f"thread {index} saw foreign "
+                                      "collector")
+                        return
+                    collector_now.record_point(kernels=1, hit=True)
+                barrier.wait()
+            if collector.points != 25 or collector.kernels != 25:
+                errors.append(f"thread {index} counted "
+                              f"{collector.points}/{collector.kernels}")
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_thread_without_collector_sees_none(self):
+        seen: list[object] = []
+        with telemetry.collect():
+            thread = threading.Thread(
+                target=lambda: seen.append(telemetry.current()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_collectors_nest_on_one_thread(self):
+        with telemetry.collect() as outer:
+            with telemetry.collect() as inner:
+                assert telemetry.current() is inner
+                inner.record_point(kernels=10, hit=False)
+            assert telemetry.current() is outer
+        assert (inner.points, inner.cache_misses) == (1, 1)
+        assert outer.points == 0
+
+    def test_record_point_feeds_registry(self):
+        from repro.obs import metrics
+
+        resolutions = metrics.counter("run_point.resolutions")
+        before = resolutions.value(result="hit")
+        with telemetry.collect() as collector:
+            collector.record_point(kernels=5, hit=True)
+        assert resolutions.value(result="hit") == before + 1

@@ -1,0 +1,220 @@
+"""Tests for the Chrome-trace/Perfetto exporters and the CLI wiring.
+
+The golden file under ``tests/golden/`` pins the full export of the tiny
+two-layer operating point; regenerate it after an intentional format or
+timing-model change with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_obs_timeline.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.config import BERT_TINY, Precision, training_point
+from repro.distributed.network import PCIE4
+from repro.distributed.simulator import simulate_ring_allreduce
+from repro.experiments import fig11
+from repro.experiments.points import POINT_REGISTRY, resolve_point
+from repro.hw.device import mi100
+from repro.obs.spans import SpanTracer
+from repro.obs.timeline_export import (collective_run_to_chrome_trace,
+                                       device_timelines_to_chrome_trace,
+                                       profile_to_chrome_trace,
+                                       spans_to_chrome_trace,
+                                       validate_chrome_trace,
+                                       write_chrome_trace)
+from repro.profiler.profiler import profile_trace
+from repro.trace.bert_trace import build_iteration_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+TINY_GOLDEN = GOLDEN_DIR / "tiny_perfetto.json"
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    model, training = resolve_point("tiny.ph1-b2-fp32")
+    trace = build_iteration_trace(model, training)
+    return profile_trace(trace, mi100())
+
+
+def _slices(payload):
+    return [e for e in payload["traceEvents"] if e["ph"] == "X"]
+
+
+class TestProfileExport:
+    def test_validates_and_sums_to_total(self, tiny_profile):
+        payload = profile_to_chrome_trace(tiny_profile)
+        assert validate_chrome_trace(payload) == []
+        slices = _slices(payload)
+        assert len(slices) == len(tiny_profile)
+        total_us = sum(e["dur"] for e in slices)
+        assert total_us == pytest.approx(tiny_profile.total_time * 1e6,
+                                         rel=1e-9)
+
+    def test_slices_are_contiguous(self, tiny_profile):
+        payload = profile_to_chrome_trace(tiny_profile)
+        clock = 0.0
+        for event in _slices(payload):
+            assert event["ts"] == pytest.approx(clock, abs=1e-6)
+            clock += event["dur"]
+
+    def test_args_carry_attribution(self, tiny_profile):
+        payload = profile_to_chrome_trace(tiny_profile)
+        slices = _slices(payload)
+        layers = {e["args"]["layer"] for e in slices}
+        assert {-1, 0, 1} <= layers  # both tiny layers + unattributed
+        gemms = [e for e in slices if e["args"]["op_class"] == "gemm"]
+        assert gemms and all("gemm_shape" in e["args"] for e in gemms)
+        assert all(e["cname"] == "thread_state_running" for e in gemms)
+
+    def test_matches_golden(self, tiny_profile):
+        payload = profile_to_chrome_trace(tiny_profile,
+                                          label="bert-tiny Ph1-B2-FP32")
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            write_chrome_trace(payload, str(TINY_GOLDEN))
+        golden = json.loads(TINY_GOLDEN.read_text())
+        # Round-trip through JSON so float representation matches.
+        assert json.loads(json.dumps(payload)) == golden
+
+
+class TestDeviceTimelineExport:
+    @pytest.fixture(scope="class")
+    def timelines(self):
+        return fig11.run()
+
+    def test_validates(self, timelines):
+        payload = device_timelines_to_chrome_trace(timelines)
+        assert validate_chrome_trace(payload) == []
+
+    def test_one_track_per_configuration(self, timelines):
+        payload = device_timelines_to_chrome_trace(timelines)
+        names = [e["args"]["name"] for e in payload["traceEvents"]
+                 if e["name"] == "process_name"]
+        assert names == [t.label for t in timelines]
+        assert len({e["pid"] for e in _slices(payload)}) == len(timelines)
+
+    def test_exposed_communication_matches_buckets(self, timelines):
+        payload = device_timelines_to_chrome_trace(timelines)
+        slices = _slices(payload)
+        for pid, timeline in enumerate(timelines):
+            comm = [e for e in slices
+                    if e["pid"] == pid
+                    and e["args"].get("exposed_communication")]
+            expected = timeline.buckets.get("communication", 0.0)
+            if expected > 0:
+                (event,) = comm
+                assert event["name"] == "communication (exposed)"
+                assert event["dur"] == pytest.approx(expected * 1e6)
+            else:
+                assert comm == []
+
+    def test_track_total_matches_timeline_total(self, timelines):
+        payload = device_timelines_to_chrome_trace(timelines)
+        slices = _slices(payload)
+        for pid, timeline in enumerate(timelines):
+            track_us = sum(e["dur"] for e in slices if e["pid"] == pid)
+            assert track_us == pytest.approx(timeline.total * 1e6)
+
+
+class TestCollectiveExport:
+    def test_ring_allreduce_export(self):
+        run = simulate_ring_allreduce(64 << 20, devices=4, link=PCIE4)
+        payload = collective_run_to_chrome_trace(run)
+        assert validate_chrome_trace(payload) == []
+        slices = _slices(payload)
+        assert len(slices) == len(run.events)
+        assert {e["tid"] for e in slices} == {e.source for e in run.events}
+        end_us = max(e["ts"] + e["dur"] for e in slices)
+        assert end_us == pytest.approx(run.completion_s * 1e6)
+
+
+class TestSpanExport:
+    def test_spans_lay_out_on_thread_tracks(self):
+        tracer = SpanTracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner", kernels=3):
+                pass
+        payload = spans_to_chrome_trace(tracer.reset())
+        assert validate_chrome_trace(payload) == []
+        by_name = {e["name"]: e for e in _slices(payload)}
+        assert by_name["inner"]["args"] == {"depth": 1, "kernels": 3}
+        assert by_name["outer"]["ts"] == 0.0
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == \
+            ["traceEvents missing or not a list"]
+
+    def test_rejects_empty_and_malformed(self):
+        assert validate_chrome_trace({"traceEvents": []})
+        bad = {"traceEvents": [{"ph": "X", "ts": -1.0, "dur": "x",
+                                "pid": 0, "tid": 0}]}
+        problems = validate_chrome_trace(bad)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("'ts'" in p for p in problems)
+        assert any("'dur'" in p for p in problems)
+
+    def test_rejects_non_monotonic_track(self):
+        events = [{"name": "a", "ph": "X", "ts": 10.0, "dur": 1.0,
+                   "pid": 0, "tid": 0},
+                  {"name": "b", "ph": "X", "ts": 5.0, "dur": 1.0,
+                   "pid": 0, "tid": 0}]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("not monotonic" in p for p in problems)
+
+    def test_independent_tracks_may_interleave(self):
+        events = [{"name": "a", "ph": "X", "ts": 10.0, "dur": 1.0,
+                   "pid": 0, "tid": 0},
+                  {"name": "b", "ph": "X", "ts": 5.0, "dur": 1.0,
+                   "pid": 1, "tid": 0}]
+        assert validate_chrome_trace({"traceEvents": events}) == []
+
+
+class TestPointRegistry:
+    def test_fig3_points_present(self):
+        assert "fig3.ph1-b32-fp32" in POINT_REGISTRY
+        assert "fig3.ph2-b4-fp16" in POINT_REGISTRY
+        assert len([p for p in POINT_REGISTRY if p.startswith("fig3.")]) == 5
+
+    def test_tiny_point_is_two_layers(self):
+        model, training = resolve_point("tiny.ph1-b2-fp32")
+        assert model is BERT_TINY
+        assert model.num_layers == 2
+        assert training == training_point(1, 2, Precision.FP32)
+
+    def test_unknown_point_names_vocabulary(self):
+        with pytest.raises(KeyError, match="valid ids"):
+            resolve_point("fig3.ph9-b1-fp8")
+
+
+class TestCLIExport:
+    def test_perfetto_point_export_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "tiny.json"
+        assert main(["export", "--format", "perfetto",
+                     "tiny.ph1-b2-fp32", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+
+    def test_perfetto_fig11_export(self, tmp_path):
+        path = tmp_path / "fig11.json"
+        assert main(["export", "--format", "perfetto", "fig11",
+                     str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert any(e["args"].get("exposed_communication")
+                   for e in _slices(payload))
+
+    def test_perfetto_unknown_target_exits_2(self, tmp_path, capsys):
+        assert main(["export", "--format", "perfetto", "nope",
+                     str(tmp_path / "x.json")]) == 2
+        assert "valid targets" in capsys.readouterr().err

@@ -118,6 +118,19 @@ class TestProfileExport:
         assert len(payload["kernels"]) == len(profile.records)
         assert payload["total_time_s"] == pytest.approx(profile.total_time)
 
+    def test_json_carries_schema_version(self, profile):
+        from repro.profiler.export import EXPORT_SCHEMA_VERSION
+        payload = json.loads(to_json(profile))
+        assert payload["schema"] == EXPORT_SCHEMA_VERSION
+
+    def test_csv_layer_is_always_an_int(self, profile):
+        # Un-attributed kernels used to export as layer="" — now they use
+        # the columnar engine's absent code, -1.
+        rows = list(csv.DictReader(io.StringIO(to_csv(profile))))
+        layers = [int(r["layer"]) for r in rows]  # never raises
+        assert -1 in layers  # embedding/optimizer kernels
+        assert {0, 1} <= set(layers)  # both BERT_TINY encoder layers
+
     def test_write_csv(self, profile, tmp_path):
         path = tmp_path / "profile.csv"
         write_csv(profile, str(path))
