@@ -10,6 +10,9 @@ Usage::
     python -m repro stats
     python -m repro export fig8 /tmp/fig8.csv
     python -m repro export --format perfetto fig3.ph1-b32-fp32 /tmp/t.json
+    python -m repro export --format perfetto --passes fuse_elementwise \
+        fig3.ph1-b32-fp32 /tmp/fused.json
+    python -m repro passes
     python -m repro cache info
     python -m repro info
 
@@ -53,6 +56,14 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--format", choices=("csv", "perfetto"),
                         default="csv", dest="fmt",
                         help="output format (default csv)")
+    export.add_argument("--passes", default=None, metavar="SPEC",
+                        help="trace-rewrite pipeline applied before a "
+                             "perfetto point export, e.g. "
+                             "'fuse_elementwise,checkpointing:4' "
+                             "(see `repro passes`)")
+
+    commands.add_parser(
+        "passes", help="list the registered trace-rewrite passes")
 
     report = commands.add_parser(
         "report", help="summarize the most recent run manifest")
@@ -145,7 +156,8 @@ def _cmd_run(experiment_id: str, jobs: int, write_manifest: bool,
     return 1 if failures else 0
 
 
-def _cmd_export_perfetto(target: str, path: str) -> int:
+def _cmd_export_perfetto(target: str, path: str,
+                         passes_spec: str | None = None) -> int:
     from repro.experiments.points import POINT_REGISTRY, resolve_point
     from repro.obs.timeline_export import (device_timelines_to_chrome_trace,
                                            profile_to_chrome_trace,
@@ -153,14 +165,28 @@ def _cmd_export_perfetto(target: str, path: str) -> int:
                                            write_chrome_trace)
 
     if target == "fig11":
+        if passes_spec:
+            print("--passes applies to operating-point exports, not fig11",
+                  file=sys.stderr)
+            return 2
         from repro.experiments import fig11
         payload = device_timelines_to_chrome_trace(fig11.run())
     elif target in POINT_REGISTRY:
         from repro.experiments.common import run_point
+        from repro.trace.passes import build_pipeline
         model, training = resolve_point(target)
-        _, profile = run_point(model, training)
-        payload = profile_to_chrome_trace(
-            profile, label=f"{model.name} {training.label}")
+        manager = None
+        label = f"{model.name} {training.label}"
+        if passes_spec:
+            try:
+                manager = build_pipeline(passes_spec)
+            except (KeyError, ValueError) as error:
+                print(str(error.args[0] if error.args else error),
+                      file=sys.stderr)
+                return 2
+            label += f" [{manager.signature}]"
+        _, profile = run_point(model, training, passes=manager)
+        payload = profile_to_chrome_trace(profile, label=label)
     else:
         print(f"unknown perfetto export target {target!r}; valid targets: "
               f"{', '.join(sorted(POINT_REGISTRY))}, fig11",
@@ -237,6 +263,18 @@ def _cmd_cache(action: str) -> int:
     return 0
 
 
+def _cmd_passes() -> int:
+    from repro.trace.passes import available_passes
+
+    registry = available_passes()
+    width = max(len(name) for name in registry)
+    for name in sorted(registry):
+        print(f"{name.ljust(width)}  {registry[name][0]}")
+    print("\ncompose with `repro export --format perfetto "
+          "--passes name[:arg],name ...`")
+    return 0
+
+
 def _cmd_info() -> int:
     from repro.config import BERT_BASE, BERT_LARGE, C3
     from repro.hw import mi100
@@ -281,7 +319,11 @@ def _dispatch(args: argparse.Namespace) -> int:
                         fresh=args.fresh)
     if args.command == "export":
         if args.fmt == "perfetto":
-            return _cmd_export_perfetto(args.experiment, args.path)
+            return _cmd_export_perfetto(args.experiment, args.path,
+                                        args.passes)
+        if args.passes:
+            print("--passes requires --format perfetto", file=sys.stderr)
+            return 2
         from repro.experiments.sweeps import export_experiment_csv
         try:
             export_experiment_csv(args.experiment, args.path)
@@ -298,6 +340,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stats(args.run)
     if args.command == "cache":
         return _cmd_cache(args.action)
+    if args.command == "passes":
+        return _cmd_passes()
     if args.command == "info":
         return _cmd_info()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -99,7 +99,7 @@ def _evaluate(model: BertConfig, training: TrainingConfig,
                             footprint_gb=footprint.total / 1e9,
                             iteration_s=None, tokens_per_second=None)
     trace = build_iteration_trace(model, training)
-    iteration = profile_trace(trace.kernels, device).total_time
+    iteration = profile_trace(trace, device).total_time
     return ConfigOption(
         training=training, fits=True,
         footprint_gb=footprint.total / 1e9,

@@ -166,7 +166,7 @@ def characterize(model: BertConfig,
     # backward recomputation changes the BWD/FWD FLOP ratio).
     validate_trace(trace,
                    training_iteration=not transforms).raise_if_invalid()
-    profile = profile_trace(trace.kernels, device)
+    profile = profile_trace(trace, device)
     stats = summarize(profile)
     return Characterization(
         model=model, training=training, device_name=device.name,

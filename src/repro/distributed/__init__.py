@@ -7,6 +7,7 @@ from repro.distributed.data_parallel import (data_parallel_timeline,
                                              single_device_timeline)
 from repro.distributed.hybrid import hybrid_timeline
 from repro.distributed.network import ETH100, PCIE4, XGMI, LinkSpec
+from repro.distributed.passes import OptimizerShardPass
 from repro.distributed.planner import (ParallelLayout, evaluate_layout,
                                        plan, render_plan)
 from repro.distributed.pipeline import (best_micro_batch_count,
@@ -26,7 +27,8 @@ from repro.distributed.simulator import (CollectiveRun, TransferEvent,
 from repro.distributed.zero import zero_dp_timeline, zero_memory_per_device
 
 __all__ = [
-    "CollectiveRun", "ParallelLayout", "TransferEvent",
+    "CollectiveRun", "OptimizerShardPass", "ParallelLayout",
+    "TransferEvent",
     "best_micro_batch_count", "evaluate_layout", "plan", "render_plan",
     "pipeline_bubble_fraction", "pipeline_timeline",
     "simulate_hierarchical_allreduce", "simulate_ring_allreduce",

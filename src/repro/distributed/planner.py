@@ -99,7 +99,7 @@ def evaluate_layout(model: BertConfig, training: TrainingConfig,
 
     # Per-device compute from the sliced trace, then split across stages.
     trace = build_sliced_iteration_trace(model, training, ts_ways)
-    profile = profile_trace(trace.kernels, device)
+    profile = profile_trace(trace, device)
     encoder = profile.time_of(component=Component.TRANSFORMER)
     other = profile.total_time - encoder
     stage_compute = encoder / pp_stages + other

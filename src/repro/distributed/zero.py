@@ -49,7 +49,7 @@ def zero_dp_timeline(model: BertConfig, training: TrainingConfig,
     if devices < 1:
         raise ValueError("devices must be >= 1")
     trace = build_iteration_trace(model, training)
-    profile = profile_trace(trace.kernels, device)
+    profile = profile_trace(trace, device)
     buckets = compute_buckets(profile)
 
     if devices > 1:

@@ -25,6 +25,7 @@ from repro.runner import telemetry
 from repro.runner.cache import get_cache
 from repro.trace.bert_trace import build_iteration_trace
 from repro.trace.builder import Trace
+from repro.trace.passes import PassManager
 
 
 def default_device() -> DeviceModel:
@@ -43,18 +44,24 @@ def clear_memo() -> None:
 
 
 def run_point(model: BertConfig, training: TrainingConfig,
-              device: DeviceModel | None = None) -> tuple[Trace, Profile]:
+              device: DeviceModel | None = None, *,
+              passes: "PassManager | None" = None) -> tuple[Trace, Profile]:
     """Trace + profile of one operating point.
 
     Results are cached on disk, content-addressed by ``(model, training,
-    device fingerprint, code version)``, and survive across invocations.
-    The returned objects are private to the caller — mutating them cannot
-    corrupt later fetches.
+    device fingerprint, code version, pass-pipeline signature)``, and
+    survive across invocations.  ``passes`` — a
+    :class:`~repro.trace.passes.PassManager` — is applied to the generated
+    trace before profiling; its :attr:`~repro.trace.passes.PassManager.
+    signature` joins the cache key, so transformed variants of the same
+    point never collide with the raw one.  The returned objects are
+    private to the caller — mutating them cannot corrupt later fetches.
     """
     if device is None:
         device = default_device()
     cache = get_cache()
-    key = cache.key(model, training, device)
+    pipeline = passes.signature if passes is not None else ""
+    key = cache.key(model, training, device, pipeline=pipeline)
 
     entry = _memo.get(key)
     hit = entry is not None
@@ -63,6 +70,8 @@ def run_point(model: BertConfig, training: TrainingConfig,
         hit = entry is not None
         if entry is None:
             trace = build_iteration_trace(model, training)
+            if passes is not None and passes.passes:
+                trace = passes.run(trace)
             entry = (trace, profile_trace(trace, device))
             cache.put(key, *entry)
         _memo[key] = entry

@@ -61,7 +61,7 @@ def run_one(training: TrainingConfig, model: BertConfig = BERT_LARGE,
     device = device or default_device()
     spec = spec or default_energy_spec()
     trace = build_iteration_trace(model, training)
-    profile = profile_trace(trace.kernels, device)
+    profile = profile_trace(trace, device)
     report = iteration_energy(profile, spec)
 
     fused = fuse_elementwise_chains(trace)

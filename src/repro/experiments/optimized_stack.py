@@ -6,6 +6,11 @@ pipeline (the Sec. 6.1 endpoint), and move the optimizer to near-memory
 compute (Sec. 6.2.1).  This study applies them cumulatively to one
 training iteration and reports the waterfall — where the remaining time
 goes after each step, and the compound speedup.
+
+Each stage is a :class:`~repro.trace.passes.PassManager` pipeline run
+through :func:`~repro.experiments.common.run_point`, so stage results are
+disk-cached under their pipeline signature and the rewrites stay columnar
+end to end.
 """
 
 from __future__ import annotations
@@ -14,14 +19,15 @@ from dataclasses import dataclass
 
 from repro.config import (BERT_LARGE, BertConfig, Precision, TrainingConfig,
                           training_point)
-from repro.experiments.common import default_device
-from repro.fusion.attention_fusion import apply_fused_attention
-from repro.fusion.passes import fuse_elementwise_chains
+from repro.experiments.common import default_device, run_point
+from repro.fusion.attention_fusion import FusedAttentionPass
+from repro.fusion.passes import ElementwiseChainFusionPass
 from repro.hw.device import DeviceModel
 from repro.nmc.model import NmcConfig, hbm2_bank_nmc
+from repro.nmc.offload import optimizer_workload
 from repro.ops.base import Component
-from repro.profiler.profiler import profile_trace
 from repro.report.tables import format_table
+from repro.trace.passes import PassManager
 
 
 @dataclass(frozen=True)
@@ -47,36 +53,27 @@ def run(model: BertConfig = BERT_LARGE,
         device: DeviceModel | None = None,
         nmc: NmcConfig | None = None) -> list[WaterfallStep]:
     """Apply the Sec. 6 optimizations cumulatively."""
-    from repro.trace.bert_trace import build_iteration_trace
-
     training = training or training_point(1, 32, Precision.FP32)
     device = device or default_device()
     nmc = nmc or hbm2_bank_nmc()
 
+    stages = (
+        ("baseline (eager)", PassManager(())),
+        ("+ elementwise-chain fusion",
+         PassManager((ElementwiseChainFusionPass(),))),
+        ("+ fused attention",
+         PassManager((ElementwiseChainFusionPass(), FusedAttentionPass()))),
+    )
     steps: list[WaterfallStep] = []
-    trace = build_iteration_trace(model, training)
-    profile = profile_trace(trace.kernels, device)
-    steps.append(WaterfallStep("baseline (eager)", profile.total_time,
-                               len(trace)))
-
-    trace = fuse_elementwise_chains(trace)
-    profile = profile_trace(trace.kernels, device)
-    steps.append(WaterfallStep("+ elementwise-chain fusion",
-                               profile.total_time, len(trace)))
-
-    trace = apply_fused_attention(trace)
-    profile = profile_trace(trace.kernels, device)
-    steps.append(WaterfallStep("+ fused attention", profile.total_time,
-                               len(trace)))
+    for name, manager in stages:
+        trace, profile = run_point(model, training, device, passes=manager)
+        steps.append(WaterfallStep(name, profile.total_time, len(trace)))
 
     # NMC offload of the optimizer: replace its GPU time with NMC time.
-    optimizer_records = profile.records_where(
-        lambda k: k.component is Component.OPTIMIZER)
-    optimizer_time = sum(r.time_s for r in optimizer_records)
-    nmc_time = nmc.execution_time(
-        flops=sum(r.kernel.flops for r in optimizer_records),
-        bytes_moved=sum(r.kernel.bytes_total for r in optimizer_records),
-        command_groups=len(optimizer_records))
+    flops, bytes_moved, groups = optimizer_workload(trace)
+    optimizer_time = profile.time_of(component=Component.OPTIMIZER)
+    nmc_time = nmc.execution_time(flops=flops, bytes_moved=bytes_moved,
+                                  command_groups=groups)
     steps.append(WaterfallStep(
         "+ LAMB on near-memory compute",
         profile.total_time - optimizer_time + nmc_time,

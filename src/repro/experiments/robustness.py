@@ -84,11 +84,11 @@ def _check_claims(device: DeviceModel, model: BertConfig) -> dict[str, bool]:
 
     def stats(training):
         trace = build_iteration_trace(model, training)
-        return summarize(profile_trace(trace.kernels, device))
+        return summarize(profile_trace(trace, device))
 
     def attention_ops_share(training):
         trace = build_iteration_trace(model, training)
-        regions = region_breakdown(profile_trace(trace.kernels, device))
+        regions = region_breakdown(profile_trace(trace, device))
         return (regions[Region.ATTENTION_BGEMM].fraction
                 + regions[Region.ATTENTION_SMDSM].fraction)
 

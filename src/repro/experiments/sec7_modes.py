@@ -57,7 +57,7 @@ def run(model: BertConfig = BERT_LARGE,
     }
     profiles = []
     for mode, trace in traces.items():
-        stats = summarize(profile_trace(trace.kernels, device))
+        stats = summarize(profile_trace(trace, device))
         profiles.append(ModeProfile(
             mode=mode, total_s=stats["total_time_s"],
             transformer=stats["transformer"], output=stats["output"],

@@ -58,7 +58,7 @@ def run(model: BertConfig = BERT_LARGE,
     trace = build_iteration_trace(model, training)
     rows = []
     for device in devices:
-        stats = summarize(profile_trace(trace.kernels, device))
+        stats = summarize(profile_trace(trace, device))
         rows.append(DeviceProfileRow(
             device_name=device.name,
             balance=device.machine_balance(DType.FP32),

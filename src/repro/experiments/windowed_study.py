@@ -63,7 +63,7 @@ def run(model: BertConfig = BERT_LARGE,
         training = TrainingConfig(batch_size=batch, seq_len=seq_len,
                                   precision=Precision.FP32)
         trace = build_iteration_trace(model, training)
-        profile = profile_trace(trace.kernels, device)
+        profile = profile_trace(trace, device)
         iteration = profile.total_time
         dense_attention = profile.time_where(
             lambda k: k.component is Component.TRANSFORMER

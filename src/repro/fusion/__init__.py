@@ -1,14 +1,18 @@
 """Kernel- and GEMM-fusion modeling (Sec. 6.1)."""
 
-from repro.fusion.attention_fusion import apply_fused_attention
-from repro.fusion.windowed_transform import apply_windowed_attention
+from repro.fusion.attention_fusion import (FusedAttentionPass,
+                                           apply_fused_attention)
+from repro.fusion.windowed_transform import (WindowedAttentionPass,
+                                             apply_windowed_attention)
 from repro.fusion.gemm_fusion import (GemmFusionResult, fused_qkv_shapes,
                                       fusion_sweep, qkv_fusion_comparison)
-from repro.fusion.passes import (FusionImpact, fuse_chain,
-                                 fuse_elementwise_chains, fusion_impact)
+from repro.fusion.passes import (ElementwiseChainFusionPass, FusionImpact,
+                                 fuse_chain, fuse_elementwise_chains,
+                                 fusion_impact)
 
 __all__ = [
-    "FusionImpact", "GemmFusionResult", "apply_fused_attention",
+    "ElementwiseChainFusionPass", "FusedAttentionPass", "FusionImpact",
+    "GemmFusionResult", "WindowedAttentionPass", "apply_fused_attention",
     "apply_windowed_attention", "fuse_chain",
     "fuse_elementwise_chains", "fused_qkv_shapes", "fusion_impact",
     "fusion_sweep", "qkv_fusion_comparison",

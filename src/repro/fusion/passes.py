@@ -9,10 +9,17 @@ assumed — the device model prices the fused trace like any other.
 
 The pass fuses within ``fusion_group`` labels, which the trace generator
 assigns to chains with actual data flow (GeLU steps, the DR+RC+LN tail,
-scale+mask+softmax+dropout).  Kernels in *different* groups — e.g. LAMB
-stages of different layers, which touch disjoint data — are never merged,
-reflecting the paper's observation that fusing them would not reduce
-memory traffic.
+scale+mask+softmax+dropout, LAMB's multi-tensor stages).  Kernels in
+*different* groups — e.g. LAMB stages of different layers, which touch
+disjoint data — are never merged, reflecting the paper's observation that
+fusing them would not reduce memory traffic.
+
+:class:`ElementwiseChainFusionPass` is the columnar implementation: chains
+are found by run-length grouping over the ``(fusion_code, phase, layer)``
+code columns and collapsed with ``reduceat`` aggregations — no per-kernel
+Python scan.  The original scan survives as
+:func:`repro.trace.reference.reference_fuse_elementwise_chains`, the
+oracle the pass is pinned against bit-exactly.
 """
 
 from __future__ import annotations
@@ -20,17 +27,13 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ops.base import Kernel, OpClass
 from repro.trace.builder import Trace
-
-
-def _chain_key(kernel: Kernel) -> tuple | None:
-    """Grouping key for fusable kernels, or None if unfusable."""
-    if kernel.fusion_group is None:
-        return None
-    if kernel.op_class.is_gemm:
-        return None
-    return (kernel.fusion_group, kernel.phase, kernel.layer_index)
+from repro.trace.kernel_table import (DTYPE_BYTES, PHASES, KernelTable,
+                                      code_of)
+from repro.trace.passes import PassContext, PassManager, TracePass
 
 
 def fuse_chain(kernels: list[Kernel]) -> Kernel:
@@ -66,32 +69,103 @@ def fuse_chain(kernels: list[Kernel]) -> Kernel:
     )
 
 
+class ElementwiseChainFusionPass(TracePass):
+    """Vectorized same-group chain fusion over the code columns.
+
+    A chain is a maximal run of consecutive rows sharing
+    ``(fusion_code, phase, layer)`` with a fusion group set and no GEMMs.
+    Runs collapse to their first row; the fused row's costs come from
+    ``reduceat`` aggregations with the per-hand-off byte corrections of
+    :func:`fuse_chain` applied as masked pairwise arrays.
+    """
+
+    name = "fuse_elementwise"
+
+    def apply(self, table: KernelTable, ctx: PassContext) -> KernelTable:
+        n = len(table)
+        if n == 0:
+            return table
+        fusable = (table.fusion_code >= 0) & ~table.is_gemm
+        # same[i]: row i continues the chain started at some earlier row.
+        same = np.zeros(n, dtype=bool)
+        same[1:] = (fusable[1:] & fusable[:-1]
+                    & (table.fusion_code[1:] == table.fusion_code[:-1])
+                    & (table.phase[1:] == table.phase[:-1])
+                    & (table.layer[1:] == table.layer[:-1]))
+        if not same.any():
+            return table
+        starts = np.flatnonzero(~same)
+        run_len = np.diff(np.append(starts, n))
+        out = table.take(starts)
+        fused = np.flatnonzero(run_len > 1)  # positions of real chains
+
+        flops = np.add.reduceat(table.flops, starts)
+        bytes_read = np.add.reduceat(table.bytes_read, starts)
+        bytes_written = np.add.reduceat(table.bytes_written, starts)
+        n_elements = np.maximum.reduceat(table.n_elements, starts)
+        has_reduction = np.logical_or.reduceat(
+            table.op_class == code_of(OpClass.REDUCTION), starts)
+
+        # Hand-off corrections: for every (producer i, consumer i+1) pair
+        # inside a run, the producer stops writing and the consumer stops
+        # reading the principal tensor.  Stored at the consumer's row, so a
+        # reduceat over run starts sums exactly the in-run pairs.
+        handoff = table.n_elements * DTYPE_BYTES[table.dtype]
+        correction_w = np.zeros(n, dtype=np.int64)
+        correction_r = np.zeros(n, dtype=np.int64)
+        correction_w[1:] = np.where(
+            same[1:], np.minimum(handoff[:-1], table.bytes_written[:-1]), 0)
+        correction_r[1:] = np.where(
+            same[1:], np.minimum(handoff[:-1], table.bytes_read[1:]), 0)
+        bytes_read = np.maximum(
+            0, bytes_read - np.add.reduceat(correction_r, starts))
+        bytes_written = np.maximum(
+            0, bytes_written - np.add.reduceat(correction_w, starts))
+
+        op_class = np.where(has_reduction, code_of(OpClass.REDUCTION),
+                            code_of(OpClass.ELEMENTWISE)).astype(np.int8)
+
+        # Pool one fused name per distinct (fusion group, phase) pair.
+        start_rows = starts[fused]
+        pair = (table.fusion_code[start_rows].astype(np.int64) * len(PHASES)
+                + table.phase[start_rows])
+        unique_pairs, inverse = np.unique(pair, return_inverse=True)
+        pool = list(out.names)
+        pool_index = {name: code for code, name in enumerate(pool)}
+        pair_codes = np.empty(len(unique_pairs), dtype=np.int32)
+        for j, value in enumerate(unique_pairs):
+            group = table.fusion_groups[int(value) // len(PHASES)]
+            phase = PHASES[int(value) % len(PHASES)]
+            fused_name = f"fused.{group}.{phase.value}"
+            code = pool_index.get(fused_name)
+            if code is None:
+                code = len(pool)
+                pool.append(fused_name)
+                pool_index[fused_name] = code
+            pair_codes[j] = code
+
+        return out.rewrite_rows(
+            fused, provenance=self.name,
+            name_code=pair_codes[inverse], names=tuple(pool),
+            op_class=op_class[fused],
+            flops=flops[fused],
+            bytes_read=bytes_read[fused],
+            bytes_written=bytes_written[fused],
+            n_elements=n_elements[fused])
+
+
 def fuse_elementwise_chains(trace: Trace) -> Trace:
     """Fuse every consecutive same-group elementwise chain in a trace."""
-    fused: list[Kernel] = []
-    pending: list[Kernel] = []
-    pending_key: tuple | None = None
+    return PassManager((ElementwiseChainFusionPass(),)).run(trace)
 
-    def flush() -> None:
-        nonlocal pending, pending_key
-        if pending:
-            fused.append(fuse_chain(pending))
-            pending = []
-            pending_key = None
 
-    for kernel in trace.kernels:
-        key = _chain_key(kernel)
-        if key is None:
-            flush()
-            fused.append(kernel)
-        elif key == pending_key:
-            pending.append(kernel)
-        else:
-            flush()
-            pending = [kernel]
-            pending_key = key
-    flush()
-    return trace.replaced(fused)
+def _ratio(before: float, after: float, what: str) -> float:
+    """Before/after ratio, guarded: both-empty is a no-op (1.0)."""
+    if not after:
+        if not before:
+            return 1.0
+        raise ValueError(f"empty fused side: {what} ratio is undefined")
+    return before / after
 
 
 @dataclass(frozen=True)
@@ -113,15 +187,15 @@ class FusionImpact:
 
     @property
     def kernel_ratio(self) -> float:
-        return self.kernels_before / self.kernels_after
+        return _ratio(self.kernels_before, self.kernels_after, "kernel")
 
     @property
     def bytes_ratio(self) -> float:
-        return self.bytes_before / self.bytes_after
+        return _ratio(self.bytes_before, self.bytes_after, "bytes")
 
     @property
     def time_ratio(self) -> float:
-        return self.time_before / self.time_after
+        return _ratio(self.time_before, self.time_after, "time")
 
 
 def fusion_impact(before: list[Kernel], after: list[Kernel],

@@ -5,53 +5,74 @@ The counterpart of :mod:`repro.fusion.attention_fusion` for the windowed
 attention-operation kernels are replaced by the block-local kernel stream
 of :mod:`repro.ops.windowed_attention`, so the full profiling/energy/export
 pipeline can study windowed models end to end.
+
+:class:`WindowedAttentionPass` is the columnar implementation: the first
+dense attention-op row of each (layer, phase) becomes a splice marker, the
+rest are dropped with one boolean-mask select, and the per-phase windowed
+kernel block — built once as a layer-templated :class:`KernelTable` and
+:meth:`~repro.trace.kernel_table.KernelTable.tiled` per layer — replaces
+each marker via :meth:`~repro.trace.kernel_table.KernelTable.splice` with
+``replace=True``.  The original per-kernel scan survives as
+:func:`repro.trace.reference.reference_apply_windowed_attention`.
 """
 
 from __future__ import annotations
 
-from repro.ops.base import Kernel, Phase, Region
+from repro.ops.base import Phase
 from repro.ops.windowed_attention import (WindowConfig,
                                           windowed_attention_op_kernels)
 from repro.trace.builder import Trace
+from repro.trace.kernel_table import KernelTable, code_of
+from repro.trace.passes import PassContext, PassManager, TracePass
 
 
-def _is_attention_op(kernel: Kernel) -> bool:
-    return (kernel.layer_index is not None
-            and kernel.region in (Region.ATTENTION_BGEMM,
-                                  Region.ATTENTION_SMDSM))
-
-
-def apply_windowed_attention(trace: Trace,
-                             window: WindowConfig | None = None) -> Trace:
+class WindowedAttentionPass(TracePass):
     """Rewrite a trace with block-local attention per encoder layer.
 
     The windowed kernel block (forward and backward interleaved as
     emitted) replaces the first dense attention-op kernel of each
     (layer, phase); remaining dense attention-op kernels are dropped.
     """
-    from repro.trace.bert_trace import _activation_dtype
 
-    window = window or WindowConfig()
-    model = trace.model
-    training = trace.training
-    dtype = _activation_dtype(training)
-    batch_heads = training.batch_size * model.num_heads
+    name = "windowed_attention"
 
-    def kernels_for(layer: int, phase: Phase) -> list[Kernel]:
+    def __init__(self, window: WindowConfig | None = None):
+        self.window = window or WindowConfig()
+
+    def params(self) -> dict:
+        return {"block": self.window.block,
+                "window_blocks": self.window.window_blocks}
+
+    def apply(self, table: KernelTable, ctx: PassContext) -> KernelTable:
+        from repro.fusion.attention_fusion import _attention_markers
+        from repro.trace.bert_trace import _activation_dtype
+
+        markers = _attention_markers(table)
+        if markers is None:
+            return table
+        keep, positions = markers
+        out = table.select(keep)
+
+        model, training = ctx.model, ctx.training
         block = windowed_attention_op_kernels(
             seq_len=training.seq_len, d_head=model.d_head,
-            batch_heads=batch_heads, window=window, dtype=dtype,
-            layer_index=layer)
-        return [k for k in block if k.phase is phase]
+            batch_heads=training.batch_size * model.num_heads,
+            window=self.window, dtype=_activation_dtype(training),
+            layer_index=None)
+        templates = {
+            phase: KernelTable.from_kernels(
+                [k for k in block if k.phase is phase]).stamped(self.name)
+            for phase in (Phase.FORWARD, Phase.BACKWARD)}
 
-    rewritten: list[Kernel] = []
-    emitted: set[tuple[int, Phase]] = set()
-    for kernel in trace.kernels:
-        if not _is_attention_op(kernel):
-            rewritten.append(kernel)
-            continue
-        key = (kernel.layer_index, kernel.phase)
-        if key not in emitted:
-            emitted.add(key)
-            rewritten.extend(kernels_for(*key))
-    return trace.replaced(rewritten)
+        forward_code = code_of(Phase.FORWARD)
+        segments = [
+            templates[Phase.FORWARD if out.phase[position] == forward_code
+                      else Phase.BACKWARD].tiled([int(out.layer[position])])
+            for position in positions]
+        return out.splice(positions, segments, replace=True)
+
+
+def apply_windowed_attention(trace: Trace,
+                             window: WindowConfig | None = None) -> Trace:
+    """Rewrite a trace with block-local attention per encoder layer."""
+    return PassManager((WindowedAttentionPass(window),)).run(trace)

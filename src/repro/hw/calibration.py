@@ -97,7 +97,7 @@ def objective(device: DeviceModel, model: BertConfig,
     error = 0.0
     for target in targets:
         trace = build_iteration_trace(model, target.training)
-        stats = summarize(profile_trace(trace.kernels, device))
+        stats = summarize(profile_trace(trace, device))
         if target.metric not in stats:
             raise KeyError(f"unknown metric {target.metric!r}")
         error += target.weight * (stats[target.metric] - target.value) ** 2

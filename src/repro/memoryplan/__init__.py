@@ -1,6 +1,7 @@
 """Activation checkpointing and memory-footprint planning (Sec. 4)."""
 
-from repro.memoryplan.checkpointing import (apply_checkpointing,
+from repro.memoryplan.checkpointing import (CheckpointingPass,
+                                            apply_checkpointing,
                                             checkpoint_segments,
                                             recompute_overhead)
 from repro.memoryplan.footprint import (MemoryFootprint,
@@ -8,7 +9,7 @@ from repro.memoryplan.footprint import (MemoryFootprint,
                                         max_batch_size, training_footprint)
 
 __all__ = [
-    "MemoryFootprint", "apply_checkpointing", "checkpoint_segments",
+    "CheckpointingPass", "MemoryFootprint", "apply_checkpointing", "checkpoint_segments",
     "layer_activation_bytes", "max_batch_size", "recompute_overhead",
     "training_footprint",
 ]

@@ -7,21 +7,30 @@ measures ~33% more kernels and ~27% more runtime for BERT Large, with the
 in-layer breakdown unchanged and LAMB's share dropping (its absolute cost is
 unaffected).
 
-The transform here rewrites an iteration trace: before each encoder layer's
+The transform rewrites an iteration trace: before each encoder layer's
 backward kernels, the layer's forward kernels are re-emitted (tagged
 ``recompute.``), except for layers whose input was checkpointed *and* whose
 forward output is the stored boundary — the standard segment-replay
 schedule re-runs every layer inside a segment, so the whole encoder forward
 is effectively executed twice.
+
+:class:`CheckpointingPass` is the columnar implementation: the replay of
+each segment is built by a pool-level ``recompute.`` rename over the
+segment's forward rows and inserted with one :meth:`KernelTable.splice` at
+the segment's first backward row.  The original per-kernel scan survives
+as :func:`repro.trace.reference.reference_apply_checkpointing`.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import math
 
-from repro.ops.base import Component, Kernel, Phase
+import numpy as np
+
+from repro.ops.base import Component, Phase
 from repro.trace.builder import Trace
+from repro.trace.kernel_table import KernelTable, code_of
+from repro.trace.passes import PassContext, PassManager, TracePass
 
 
 def checkpoint_segments(num_layers: int,
@@ -52,52 +61,85 @@ def checkpoint_segments(num_layers: int,
     return segments
 
 
-def _as_recompute(kernel: Kernel) -> Kernel:
-    """Re-tag a forward kernel as recomputation executed during backprop."""
-    return dataclasses.replace(kernel, name=f"recompute.{kernel.name}",
-                               phase=Phase.BACKWARD)
-
-
-def apply_checkpointing(trace: Trace,
-                        num_checkpoints: int | None = None) -> Trace:
-    """Insert segment-replay recomputation into an iteration trace.
+class CheckpointingPass(TracePass):
+    """Segment-replay recomputation as a vectorized segment splice.
 
     The layer-attributed forward kernels of each segment are re-emitted
     immediately before the first backward kernel of that segment's deepest
     layer.  Embedding/output kernels and the optimizer are untouched.
     """
-    forward_by_layer: dict[int, list[Kernel]] = {}
-    for kernel in trace.kernels:
-        if (kernel.phase is Phase.FORWARD
-                and kernel.component is Component.TRANSFORMER
-                and kernel.layer_index is not None):
-            forward_by_layer.setdefault(kernel.layer_index, []).append(kernel)
 
-    if not forward_by_layer:
-        return trace
+    name = "checkpointing"
 
-    num_layers = max(forward_by_layer) + 1
-    segments = checkpoint_segments(num_layers, num_checkpoints)
-    segment_of = {}
-    for segment in segments:
-        for layer in segment:
-            segment_of[layer] = segment
+    def __init__(self, num_checkpoints: int | None = None):
+        self.num_checkpoints = num_checkpoints
 
-    rewritten: list[Kernel] = []
-    replayed: set[int] = set()  # segment start layers already replayed
-    for kernel in trace.kernels:
-        is_layer_backward = (kernel.phase is Phase.BACKWARD
-                             and kernel.component is Component.TRANSFORMER
-                             and kernel.layer_index is not None)
-        if is_layer_backward:
-            segment = segment_of[kernel.layer_index]
-            if segment.start not in replayed:
-                replayed.add(segment.start)
-                for layer in segment:
-                    for fwd in forward_by_layer.get(layer, []):
-                        rewritten.append(_as_recompute(fwd))
-        rewritten.append(kernel)
-    return trace.replaced(rewritten)
+    def params(self) -> dict:
+        if self.num_checkpoints is None:
+            return {}
+        return {"num_checkpoints": self.num_checkpoints}
+
+    def apply(self, table: KernelTable, ctx: PassContext) -> KernelTable:
+        attributed = table.layer >= 0
+        encoder = table.mask(component=Component.TRANSFORMER) & attributed
+        fwd_rows = np.flatnonzero(
+            encoder & (table.phase == code_of(Phase.FORWARD)))
+        if not len(fwd_rows):
+            return table
+        bwd_rows = np.flatnonzero(
+            encoder & (table.phase == code_of(Phase.BACKWARD)))
+
+        num_layers = int(table.layer[fwd_rows].max()) + 1
+        segments = checkpoint_segments(num_layers, self.num_checkpoints)
+        segment_of = np.empty(num_layers, dtype=np.int32)
+        for index, segment in enumerate(segments):
+            segment_of[segment.start:segment.stop] = index
+
+        # First backward row of each segment, in trace order.
+        bwd_segment = segment_of[table.layer[bwd_rows]]
+        _, first = np.unique(bwd_segment, return_index=True)
+        positions = np.sort(bwd_rows[first])
+
+        # Forward rows in replay order: layer ascending, original order
+        # within a layer (lexsort: last key is primary).
+        fwd_layers = table.layer[fwd_rows]
+        replay_order = np.lexsort((fwd_rows, fwd_layers))
+        sorted_rows = fwd_rows[replay_order]
+        sorted_layers = fwd_layers[replay_order]
+        sorted_segment = segment_of[sorted_layers]
+
+        # One ``recompute.``-prefixed name pool shared by every replay.
+        pool = list(table.names)
+        pool_index = {name: code for code, name in enumerate(pool)}
+        translation = np.arange(len(pool), dtype=np.int32)
+        for code in np.unique(table.name_code[fwd_rows]):
+            renamed = f"recompute.{pool[code]}"
+            new_code = pool_index.get(renamed)
+            if new_code is None:
+                new_code = len(pool)
+                pool.append(renamed)
+                pool_index[renamed] = new_code
+            translation[code] = new_code
+        names = tuple(pool)
+        backward_code = code_of(Phase.BACKWARD)
+
+        # Splice positions ascend with descending segment index (backprop
+        # reaches the deepest segment first); map each to its replay table.
+        position_segment = segment_of[table.layer[positions]]
+        replays = []
+        for segment_index in position_segment:
+            rows = sorted_rows[sorted_segment == segment_index]
+            replay = table.take(rows).with_columns(
+                name_code=translation[table.name_code[rows]], names=names,
+                phase=np.full(len(rows), backward_code, dtype=np.int8))
+            replays.append(replay.stamped(self.name))
+        return table.splice(positions, replays)
+
+
+def apply_checkpointing(trace: Trace,
+                        num_checkpoints: int | None = None) -> Trace:
+    """Insert segment-replay recomputation into an iteration trace."""
+    return PassManager((CheckpointingPass(num_checkpoints),)).run(trace)
 
 
 def recompute_overhead(trace: Trace, checkpointed: Trace) -> float:

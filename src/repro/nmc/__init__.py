@@ -1,7 +1,8 @@
 """Near-memory compute modeling (Sec. 6.2.1)."""
 
 from repro.nmc.model import NmcConfig, hbm2_bank_nmc
-from repro.nmc.offload import LambOffloadResult, evaluate_lamb_offload
+from repro.nmc.offload import (LambOffloadResult, OptimizerOffloadPass,
+                               evaluate_lamb_offload, optimizer_workload)
 
-__all__ = ["LambOffloadResult", "NmcConfig", "evaluate_lamb_offload",
-           "hbm2_bank_nmc"]
+__all__ = ["LambOffloadResult", "NmcConfig", "OptimizerOffloadPass",
+           "evaluate_lamb_offload", "hbm2_bank_nmc", "optimizer_workload"]

@@ -18,12 +18,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import BertConfig, TrainingConfig
 from repro.hw.device import DeviceModel
 from repro.nmc.model import NmcConfig
 from repro.ops.base import Component
-from repro.profiler.profiler import Profile, profile_trace
+from repro.profiler.profiler import profile_trace
 from repro.trace.bert_trace import build_iteration_trace
+from repro.trace.kernel_table import KernelTable
+from repro.trace.passes import PassContext, TracePass
 
 
 @dataclass(frozen=True)
@@ -61,13 +65,34 @@ class LambOffloadResult:
         return 1.0 - self.iteration_nmc_s / self.iteration_baseline_s
 
 
-def _optimizer_workload(profile: Profile) -> tuple[int, int, int]:
-    """(flops, bytes, kernel count) of the profile's optimizer phase."""
-    records = profile.records_where(
-        lambda k: k.component is Component.OPTIMIZER)
-    flops = sum(r.kernel.flops for r in records)
-    moved = sum(r.kernel.bytes_total for r in records)
-    return flops, moved, len(records)
+def optimizer_workload(trace) -> tuple[int, int, int]:
+    """(flops, bytes, kernel count) of a trace's optimizer phase.
+
+    A columnar masked reduction; accepts anything
+    :meth:`KernelTable.coerce` does (Trace, KernelTable, kernel iterable).
+    """
+    table = KernelTable.coerce(trace)
+    optimizer = table.mask(component=Component.OPTIMIZER)
+    flops = int(table.flops[optimizer].sum())
+    moved = int(table.bytes_total[optimizer].sum())
+    return flops, moved, int(np.count_nonzero(optimizer))
+
+
+class OptimizerOffloadPass(TracePass):
+    """Drop optimizer rows from the GPU trace — NMC executes them instead.
+
+    The dropped work is what :func:`optimizer_workload` measures on the
+    *un*-offloaded trace; :func:`evaluate_lamb_offload` prices it on the
+    NMC model and splices the time back into the iteration.
+    """
+
+    name = "offload_optimizer"
+
+    def apply(self, table: KernelTable, ctx: PassContext) -> KernelTable:
+        keep = ~table.mask(component=Component.OPTIMIZER)
+        if keep.all():
+            return table
+        return table.select(keep)
 
 
 def evaluate_lamb_offload(model: BertConfig, training: TrainingConfig,
@@ -76,7 +101,7 @@ def evaluate_lamb_offload(model: BertConfig, training: TrainingConfig,
     """Offload the optimizer phase of one training point to NMC."""
     trace = build_iteration_trace(model, training)
     profile = profile_trace(trace, device)
-    flops, bytes_moved, groups = _optimizer_workload(profile)
+    flops, bytes_moved, groups = optimizer_workload(trace)
 
     lamb_actual = profile.time_of(component=Component.OPTIMIZER)
     lamb_optimistic = bytes_moved / device.peak_bandwidth

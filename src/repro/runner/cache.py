@@ -61,7 +61,8 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Packages whose source determines a (trace, profile) result.  A change to
 #: any file under them rotates the cache key, so stale entries from an older
 #: code version can never be served.
-_CODE_FINGERPRINT_PARTS = ("config.py", "ops", "trace", "hw", "profiler")
+_CODE_FINGERPRINT_PARTS = ("config.py", "ops", "trace", "hw", "profiler",
+                           "fusion", "memoryplan", "distributed", "nmc")
 
 
 def default_cache_dir() -> Path:
@@ -166,14 +167,24 @@ class ResultCache:
     stats: CacheStats = field(default_factory=CacheStats)
 
     def key(self, model: BertConfig, training: TrainingConfig,
-            device: DeviceModel) -> str:
-        """Content address of one operating point on one device."""
-        return _digest({
+            device: DeviceModel, *, pipeline: str = "") -> str:
+        """Content address of one operating point on one device.
+
+        ``pipeline`` is the :attr:`PassManager.signature` of the trace
+        rewrites applied after generation (empty = raw trace), so fused /
+        checkpointed / windowed variants of the same point get distinct
+        entries.  Omitting it keeps raw-point keys identical to before
+        the pass pipeline existed.
+        """
+        payload = {
             "model": model,
             "training": training,
             "device": device_fingerprint(device),
             "code": code_fingerprint(),
-        })
+        }
+        if pipeline:
+            payload["pipeline"] = pipeline
+        return _digest(payload)
 
     def experiment_key(self, experiment_id: str, description: str) -> str:
         """Content address of one registered experiment's result."""

@@ -14,6 +14,8 @@ from repro.trace.bert_trace import (attention_backward_kernels,
                                     transformer_layer_forward_kernels)
 from repro.trace.builder import Trace, TraceBuilder
 from repro.trace.kernel_table import KernelTable
+from repro.trace.passes import (PassContext, PassManager, TracePass,
+                                available_passes, build_pipeline)
 from repro.trace.validate import ValidationReport, validate_trace
 from repro.trace.variants import (build_finetuning_trace,
                                   build_inference_trace)
@@ -23,7 +25,9 @@ from repro.trace.parameters import (ParamTensor, bert_parameter_inventory,
                                     total_parameters)
 
 __all__ = [
-    "KernelTable", "ParamTensor", "Trace", "TraceBuilder", "ValidationReport",
+    "KernelTable", "ParamTensor", "PassContext", "PassManager", "Trace",
+    "TraceBuilder", "TracePass", "ValidationReport",
+    "available_passes", "build_pipeline",
     "build_finetuning_trace", "build_inference_trace", "validate_trace",
     "attention_backward_kernels", "attention_forward_kernels",
     "bert_parameter_inventory", "build_iteration_trace",

@@ -600,9 +600,11 @@ def build_iteration_trace(model: BertConfig,
                                     fused=training.fuse_optimizer)),
         ])
 
-        trace = Trace.from_table(model, training, table)
         if training.activation_checkpointing:
-            from repro.memoryplan.checkpointing import apply_checkpointing
-            trace = apply_checkpointing(trace)
+            from repro.memoryplan.checkpointing import CheckpointingPass
+            from repro.trace.passes import PassManager
+            table = PassManager((CheckpointingPass(),)).run_table(
+                table, model, training)
+        trace = Trace.from_table(model, training, table)
         spans.annotate(kernels=len(trace))
     return trace

@@ -11,18 +11,23 @@ representations:
   produced by the layer-templated generators and consumed by the vectorized
   timing/aggregation paths and the runner cache;
 * a ``list[Kernel]`` — the original object view, materialized lazily the
-  first time ``trace.kernels`` is touched, so every existing transform
-  (fusion passes, checkpointing, distributed rewrites) keeps working
-  unchanged.
+  first time ``trace.kernels`` is touched, for callers that still want
+  per-kernel objects (tests, reference oracles, ad-hoc inspection).
 
 The list, once materialized, is the mutable, authoritative side; the table
-is treated as stale whenever the list's length no longer matches it (the
-same append-safe count keying ``Profile.total_time`` uses).  Tables are
+is rebuilt whenever the list no longer mirrors the snapshot it was last
+built from — element identity, not just length, so in-place replacement of
+a kernel (same count, different object) invalidates it too.  Tables are
 immutable, so handing the same table to several ``Trace`` views is safe.
+
+Transform passes (:mod:`repro.trace.passes`) never materialize the list:
+they rewrite ``trace.table`` directly and wrap the result in a new
+table-backed ``Trace`` view.
 """
 
 from __future__ import annotations
 
+import operator
 from typing import Callable, Iterable, Iterator
 
 from repro.config import BertConfig, TrainingConfig
@@ -53,9 +58,13 @@ class Trace:
         self._kernels: list[Kernel] | None = (
             list(kernels) if kernels is not None else None)
         self._table = table
-        # (kernel count, flops, bytes) backing the cached aggregates;
-        # compared against len() on access so appends invalidate it.
-        self._agg_cache: tuple[int, int, int] | None = None
+        # Snapshot of the kernel list the current table was built from
+        # (or materialized into); any divergence — append, removal, or
+        # same-length element replacement — marks the table stale.
+        self._table_src: list[Kernel] | None = None
+        # (source table, flops, bytes) backing the cached aggregates;
+        # keyed on table identity so any rebuild invalidates it.
+        self._agg_cache: tuple[KernelTable, int, int] | None = None
 
     @classmethod
     def from_table(cls, model: BertConfig, training: TrainingConfig,
@@ -69,16 +78,31 @@ class Trace:
         """The kernel list, materialized from the table on first access."""
         if self._kernels is None:
             self._kernels = self._table.to_kernels()
+            self._table_src = list(self._kernels)
         return self._kernels
+
+    def _list_matches_table(self) -> bool:
+        """Whether the materialized list still mirrors the table.
+
+        Compared element-by-element against the snapshot by identity, so
+        in-place replacement of a kernel (length unchanged) is caught, not
+        just appends.  Kernels are frozen dataclasses, so identity is the
+        right notion of "same row".
+        """
+        if self._kernels is None:
+            return True  # table-backed, never materialized: authoritative
+        source = self._table_src
+        return (source is not None and len(self._kernels) == len(source)
+                and all(map(operator.is_, self._kernels, source)))
 
     @property
     def table(self) -> KernelTable:
-        """The columnar form, rebuilt whenever the kernel list outgrew it."""
-        if self._table is None or (self._kernels is not None
-                                   and len(self._kernels) != len(self._table)):
+        """The columnar form, rebuilt whenever the kernel list diverged."""
+        if self._table is None or not self._list_matches_table():
             with spans.span("trace.columnarize",
                             kernels=len(self._kernels)):
                 self._table = KernelTable.from_kernels(self._kernels)
+            self._table_src = list(self._kernels)
         return self._table
 
     def _columnar(self) -> KernelTable | None:
@@ -127,6 +151,7 @@ class Trace:
         self.training = state["training"]
         self._kernels = None
         self._table = state["table"]
+        self._table_src = None
         self._agg_cache = None
 
     # ------------------------------------------------------------- selection
@@ -180,21 +205,18 @@ class Trace:
 
     # ------------------------------------------------------------ aggregates
     def _aggregates(self) -> tuple[int, int]:
-        """(total flops, total bytes), cached with append-safe keying.
+        """(total flops, total bytes), cached per source table.
 
-        Same O(n²)-under-looping fix as ``Profile.total_time``: sweeps call
-        these per operating point and per report row, so recomputing the
-        sums on every access was quadratic over a session.
+        Sweeps call these per operating point and per report row, so
+        recomputing the sums on every access was quadratic over a session.
+        Keying on the table object (rebuilt by the ``table`` property
+        whenever the kernel list diverges — including same-length in-place
+        replacement) makes the cache stale-proof.
         """
-        if self._agg_cache is None or self._agg_cache[0] != len(self):
-            table = self._columnar()
-            if table is not None:
-                flops = int(table.flops.sum())
-                total_bytes = int(table.bytes_total.sum())
-            else:
-                flops = sum(k.flops for k in self.kernels)
-                total_bytes = sum(k.bytes_total for k in self.kernels)
-            self._agg_cache = (len(self), flops, total_bytes)
+        table = self.table
+        if self._agg_cache is None or self._agg_cache[0] is not table:
+            self._agg_cache = (table, int(table.flops.sum()),
+                               int(table.bytes_total.sum()))
         return self._agg_cache[1], self._agg_cache[2]
 
     @property

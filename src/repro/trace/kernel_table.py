@@ -23,12 +23,19 @@ table's pool, with ``-1`` meaning absent.  Cost fields (flops, bytes,
 element counts) are ``int64`` columns.
 
 Tables are **immutable**: every array is marked read-only at construction,
-and transforms (``tiled``, ``concat``, ``take``) return new tables.  The
-per-:class:`Kernel` view is materialized lazily and only for the rows a
-caller actually asks for.  This immutability is what lets
-:func:`repro.experiments.common.run_point` hand the same backing table to
-every caller without the defensive deep copies the object representation
-needed.
+and transforms (``tiled``, ``concat``, ``take``, ``select``, ``splice``,
+``rewrite_rows``) return new tables.  The per-:class:`Kernel` view is
+materialized lazily and only for the rows a caller actually asks for.  This
+immutability is what lets :func:`repro.experiments.common.run_point` hand
+the same backing table to every caller without the defensive deep copies
+the object representation needed — and what makes the trace-rewrite passes
+of :mod:`repro.trace.passes` pure functions.
+
+Each row also carries a **provenance** code (pooled, ``-1`` meaning "from
+the trace generator") recording which rewrite pass produced it.  Provenance
+is table-only metadata: it does not appear on materialized
+:class:`Kernel` objects and does not participate in kernel equality, so
+golden tests comparing against the legacy list transforms stay bit-exact.
 """
 
 from __future__ import annotations
@@ -67,6 +74,26 @@ GEMM_OP_CODES: tuple[int, ...] = tuple(
 
 _COMM_OP_CODE = _OP_CODE[OpClass.COMMUNICATION]
 
+#: Per-dtype element sizes indexed by dtype code, for vectorized byte math.
+DTYPE_BYTES: np.ndarray = np.array([d.bytes for d in DTYPES], dtype=np.int64)
+DTYPE_BYTES.flags.writeable = False
+
+_CODE_TABLES = ((OpClass, _OP_CODE), (Phase, _PHASE_CODE),
+                (Component, _COMPONENT_CODE), (Region, _REGION_CODE),
+                (DType, _DTYPE_CODE), (AccessPattern, _ACCESS_CODE))
+
+
+def code_of(member) -> int:
+    """The table code of one enum member (dispatched on its type).
+
+    The public lookup used by the vectorized trace passes to compare code
+    columns against enum members without materializing kernels.
+    """
+    for enum_type, codes in _CODE_TABLES:
+        if isinstance(member, enum_type):
+            return codes[member]
+    raise TypeError(f"no code table for {type(member).__name__}")
+
 
 def _frozen(array: np.ndarray) -> np.ndarray:
     array.flags.writeable = False
@@ -88,17 +115,21 @@ class KernelTable:
         fusion_code: ``int32`` index into ``fusion_groups``, ``-1`` for
             ``None``.
         fusion_groups: pooled fusion-group labels.
+        provenance: ``int16`` index into ``provenance_names``, ``-1`` for
+            rows emitted by the trace generator itself.
+        provenance_names: pooled names of the passes that rewrote rows.
     """
 
     __slots__ = ("name_code", "names", "op_class", "phase", "component",
                  "region", "dtype", "access", "flops", "bytes_read",
                  "bytes_written", "n_elements", "layer", "gemm_code",
-                 "gemms", "fusion_code", "fusion_groups")
+                 "gemms", "fusion_code", "fusion_groups", "provenance",
+                 "provenance_names")
 
     def __init__(self, *, name_code, names, op_class, phase, component,
                  region, dtype, access, flops, bytes_read, bytes_written,
                  n_elements, layer, gemm_code, gemms, fusion_code,
-                 fusion_groups):
+                 fusion_groups, provenance=None, provenance_names=()):
         self.name_code = _frozen(np.asarray(name_code, dtype=np.int32))
         self.names = tuple(names)
         self.op_class = _frozen(np.asarray(op_class, dtype=np.int8))
@@ -117,6 +148,10 @@ class KernelTable:
         self.gemms = tuple(gemms)
         self.fusion_code = _frozen(np.asarray(fusion_code, dtype=np.int32))
         self.fusion_groups = tuple(fusion_groups)
+        if provenance is None:
+            provenance = np.full(len(self.op_class), -1, dtype=np.int16)
+        self.provenance = _frozen(np.asarray(provenance, dtype=np.int16))
+        self.provenance_names = tuple(provenance_names)
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -127,7 +162,8 @@ class KernelTable:
         gemm_pool: dict[object, int] = {}
         fusion_pool: dict[str, int] = {}
         columns = {key: [] for key in cls.__slots__
-                   if key not in ("names", "gemms", "fusion_groups")}
+                   if key not in ("names", "gemms", "fusion_groups",
+                                  "provenance", "provenance_names")}
         for k in kernels:
             columns["name_code"].append(
                 name_pool.setdefault(k.name, len(name_pool)))
@@ -158,12 +194,15 @@ class KernelTable:
         name_pool: dict[str, int] = {}
         gemm_pool: dict[object, int] = {}
         fusion_pool: dict[str, int] = {}
-        name_cols, gemm_cols, fusion_cols = [], [], []
+        prov_pool: dict[str, int] = {}
+        name_cols, gemm_cols, fusion_cols, prov_cols = [], [], [], []
         for table in tables:
             name_cols.append(_remap(table.name_code, table.names, name_pool))
             gemm_cols.append(_remap(table.gemm_code, table.gemms, gemm_pool))
             fusion_cols.append(_remap(table.fusion_code, table.fusion_groups,
                                       fusion_pool))
+            prov_cols.append(_remap(table.provenance, table.provenance_names,
+                                    prov_pool).astype(np.int16))
 
         def cat(attr: str) -> np.ndarray:
             return np.concatenate([getattr(t, attr) for t in tables])
@@ -177,7 +216,9 @@ class KernelTable:
             n_elements=cat("n_elements"), layer=cat("layer"),
             gemm_code=np.concatenate(gemm_cols), gemms=tuple(gemm_pool),
             fusion_code=np.concatenate(fusion_cols),
-            fusion_groups=tuple(fusion_pool))
+            fusion_groups=tuple(fusion_pool),
+            provenance=np.concatenate(prov_cols),
+            provenance_names=tuple(prov_pool))
 
     def tiled(self, layer_indices: Iterable[int]) -> "KernelTable":
         """Replicate this table once per layer index, stamping attribution.
@@ -204,10 +245,16 @@ class KernelTable:
             bytes_read=t("bytes_read"), bytes_written=t("bytes_written"),
             n_elements=t("n_elements"), layer=layer,
             gemm_code=t("gemm_code"), gemms=self.gemms,
-            fusion_code=t("fusion_code"), fusion_groups=self.fusion_groups)
+            fusion_code=t("fusion_code"), fusion_groups=self.fusion_groups,
+            provenance=t("provenance"),
+            provenance_names=self.provenance_names)
 
-    def take(self, indices: np.ndarray) -> "KernelTable":
-        """A new table of the given rows (pools are shared, not re-deduped)."""
+    def take(self, indices) -> "KernelTable":
+        """A new table of the given rows (pools are shared, not re-deduped).
+
+        ``indices`` may be an integer index array, a boolean mask, or a
+        slice.
+        """
         def g(attr: str) -> np.ndarray:
             return getattr(self, attr)[indices]
 
@@ -219,7 +266,102 @@ class KernelTable:
             bytes_read=g("bytes_read"), bytes_written=g("bytes_written"),
             n_elements=g("n_elements"), layer=g("layer"),
             gemm_code=g("gemm_code"), gemms=self.gemms,
-            fusion_code=g("fusion_code"), fusion_groups=self.fusion_groups)
+            fusion_code=g("fusion_code"), fusion_groups=self.fusion_groups,
+            provenance=g("provenance"),
+            provenance_names=self.provenance_names)
+
+    # ------------------------------------------------------ rewrite primitives
+    def _columns(self) -> dict:
+        """Every slot, for rebuilding a table with some columns replaced."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def with_columns(self, **overrides) -> "KernelTable":
+        """A new table with the given columns (or pools) replaced.
+
+        Untouched columns are shared with this table (they are immutable),
+        so the rebuild costs only the overridden arrays.
+        """
+        columns = self._columns()
+        columns.update(overrides)
+        return type(self)(**columns)
+
+    def select(self, mask: np.ndarray) -> "KernelTable":
+        """A new table of the rows where ``mask`` is True (order kept)."""
+        return self.take(mask)
+
+    def slice_rows(self, start: int, stop: int) -> "KernelTable":
+        """A new table over the contiguous row range ``[start, stop)``.
+
+        Arrays are sliced as views, so this is O(1) in row count.
+        """
+        return self.take(slice(start, stop))
+
+    def splice(self, positions, segments: Sequence["KernelTable"], *,
+               replace: bool = False) -> "KernelTable":
+        """Insert each segment immediately before the matching row.
+
+        ``positions`` must be strictly increasing row indices, one per
+        segment.  With ``replace=True`` the row at each position is dropped
+        (the segment replaces it); otherwise it follows its segment.  This
+        is the vectorized equivalent of a list scan that expands markers
+        into kernel blocks.
+        """
+        positions = [int(p) for p in positions]
+        if len(positions) != len(segments):
+            raise ValueError("need exactly one segment per position")
+        pieces: list[KernelTable] = []
+        previous = 0
+        for position, segment in zip(positions, segments):
+            if position < previous or position >= len(self) + (not replace):
+                raise ValueError(
+                    "splice positions must be strictly increasing row "
+                    f"indices, got {positions}")
+            pieces.append(self.slice_rows(previous, position))
+            pieces.append(segment)
+            previous = position + 1 if replace else position
+        pieces.append(self.slice_rows(previous, len(self)))
+        return type(self).concat(pieces)
+
+    def rewrite_rows(self, rows, *, provenance: str | None = None,
+                     **updates) -> "KernelTable":
+        """A new table with the given rows' column values replaced.
+
+        ``updates`` maps column names to per-row replacement values
+        (scalars broadcast).  Replacement pools (``names`` / ``gemms`` /
+        ``fusion_groups``) may be passed alongside their code columns when
+        a rewrite introduces new pooled values.  ``provenance`` stamps the
+        rewritten rows with the producing pass's name.
+        """
+        pools = ("names", "gemms", "fusion_groups", "provenance_names")
+        columns = self._columns()
+        for column, values in updates.items():
+            if column in pools:
+                columns[column] = tuple(values)
+                continue
+            if column not in columns:
+                raise KeyError(f"unknown column {column!r}")
+            array = np.array(columns[column])  # writable copy
+            array[rows] = values
+            columns[column] = array
+        if provenance is not None:
+            pool = list(columns["provenance_names"])
+            if provenance not in pool:
+                pool.append(provenance)
+            stamped = np.array(columns["provenance"])
+            stamped[rows] = pool.index(provenance)
+            columns["provenance"] = stamped
+            columns["provenance_names"] = tuple(pool)
+        return type(self)(**columns)
+
+    def stamped(self, provenance: str) -> "KernelTable":
+        """A copy with every row's provenance set to ``provenance``."""
+        pool = list(self.provenance_names)
+        if provenance not in pool:
+            pool.append(provenance)
+        return self.with_columns(
+            provenance=np.full(len(self), pool.index(provenance),
+                               dtype=np.int16),
+            provenance_names=tuple(pool))
 
     @classmethod
     def coerce(cls, kernels) -> "KernelTable":
@@ -320,6 +462,14 @@ class KernelTable:
         return {slot: getattr(self, slot) for slot in self.__slots__}
 
     def __setstate__(self, state: dict) -> None:
+        # .get: tolerate pickles from before the provenance column (the
+        # cache's code fingerprint rotates keys on upgrade, but tolerance
+        # keeps manually saved tables loadable).
+        if "provenance" not in state:
+            state = dict(state,
+                         provenance=np.full(len(state["op_class"]), -1,
+                                            dtype=np.int16),
+                         provenance_names=())
         for slot in self.__slots__:
             value = state[slot]
             if isinstance(value, np.ndarray):

@@ -15,13 +15,21 @@ oracle that claim is checked against:
 * :func:`reference_profile` times kernels one by one through the scalar
   :func:`repro.hw.timing.kernel_time`;
 * :func:`reference_summarize` computes the headline fractions by predicate
-  scans over the record list.
+  scans over the record list;
+* :func:`reference_fuse_elementwise_chains`,
+  :func:`reference_apply_checkpointing`,
+  :func:`reference_apply_fused_attention`,
+  :func:`reference_apply_windowed_attention` and
+  :func:`reference_sliced_iteration_trace` are the original list-scan
+  trace transforms, kept as the oracles the vectorized passes of
+  :mod:`repro.trace.passes` (and the modules they live in) are pinned
+  against.
 
-``tests/test_profile_engine_golden.py`` runs both engines over the
-registry's operating points and requires identical kernels, bit-identical
-per-kernel times, and matching breakdown fractions.
-``benchmarks/bench_profile_engine.py`` uses the same functions as the
-honest "before" timings.
+``tests/test_profile_engine_golden.py`` and ``tests/test_passes.py`` run
+both engines over the registry's operating points and require identical
+kernels, bit-identical per-kernel times, and matching breakdown fractions.
+``benchmarks/bench_profile_engine.py`` / ``benchmarks/bench_pass_pipeline.py``
+use the same functions as the honest "before" timings.
 """
 
 from __future__ import annotations
@@ -70,8 +78,9 @@ def reference_iteration_trace(model: BertConfig,
 
     trace = builder.build()
     if training.activation_checkpointing:
-        from repro.memoryplan.checkpointing import apply_checkpointing
-        trace = apply_checkpointing(trace)
+        # The legacy list-scan transform, so the oracle stays independent
+        # of the columnar CheckpointingPass it is checked against.
+        trace = reference_apply_checkpointing(trace)
     return trace
 
 
@@ -146,6 +155,204 @@ def reference_profile(trace: Trace, device: DeviceModel) -> Profile:
     records = [KernelProfile(kernel=k, time_s=kernel_time(k, device))
                for k in trace.kernels]
     return Profile(device=device, records=records)
+
+
+def reference_sliced_iteration_trace(model: BertConfig,
+                                     training: TrainingConfig,
+                                     ways: int) -> Trace:
+    """Tensor-sliced iteration trace via the per-layer builder walk."""
+    from repro.distributed.tensor_slicing import sliced_parameter_inventory
+    from repro.optim.kernels import optimizer_kernels
+
+    builder = TraceBuilder(model, training)
+    builder.add(embedding_forward_kernels(model, training))
+    for layer in range(model.num_layers):
+        builder.set_layer(layer)
+        builder.add(transformer_layer_forward_kernels(model, training, ways))
+    builder.set_layer(None)
+    builder.add(output_head_forward_kernels(model, training))
+    builder.add(output_head_backward_kernels(model, training))
+    for layer in reversed(range(model.num_layers)):
+        builder.set_layer(layer)
+        builder.add(transformer_layer_backward_kernels(model, training, ways))
+    builder.set_layer(None)
+    builder.add(embedding_backward_kernels(model, training))
+    builder.add(optimizer_kernels(training.optimizer,
+                                  sliced_parameter_inventory(model, ways),
+                                  precision=training.precision,
+                                  fused=training.fuse_optimizer))
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Legacy trace transforms: the pre-pass-pipeline list scans, verbatim.
+# These are the oracles the vectorized KernelTable passes are pinned
+# against bit-exactly; do not "improve" them.
+# ---------------------------------------------------------------------------
+
+def _chain_key(kernel: Kernel) -> tuple | None:
+    """Grouping key for fusable kernels, or None if unfusable."""
+    if kernel.fusion_group is None:
+        return None
+    if kernel.op_class.is_gemm:
+        return None
+    return (kernel.fusion_group, kernel.phase, kernel.layer_index)
+
+
+def reference_fuse_elementwise_chains(trace: Trace) -> Trace:
+    """Sequential scan-and-flush elementwise-chain fusion."""
+    from repro.fusion.passes import fuse_chain
+
+    fused: list[Kernel] = []
+    pending: list[Kernel] = []
+    pending_key: tuple | None = None
+
+    def flush() -> None:
+        nonlocal pending, pending_key
+        if pending:
+            fused.append(fuse_chain(pending))
+            pending = []
+            pending_key = None
+
+    for kernel in trace.kernels:
+        key = _chain_key(kernel)
+        if key is None:
+            flush()
+            fused.append(kernel)
+        elif key == pending_key:
+            pending.append(kernel)
+        else:
+            flush()
+            pending = [kernel]
+            pending_key = key
+    flush()
+    return trace.replaced(fused)
+
+
+def _as_recompute(kernel: Kernel) -> Kernel:
+    """Re-tag a forward kernel as recomputation executed during backprop."""
+    import dataclasses
+
+    from repro.ops.base import Phase
+
+    return dataclasses.replace(kernel, name=f"recompute.{kernel.name}",
+                               phase=Phase.BACKWARD)
+
+
+def reference_apply_checkpointing(trace: Trace,
+                                  num_checkpoints: int | None = None
+                                  ) -> Trace:
+    """Per-kernel scan inserting segment-replay recomputation."""
+    from repro.memoryplan.checkpointing import checkpoint_segments
+    from repro.ops.base import Phase
+
+    forward_by_layer: dict[int, list[Kernel]] = {}
+    for kernel in trace.kernels:
+        if (kernel.phase is Phase.FORWARD
+                and kernel.component is Component.TRANSFORMER
+                and kernel.layer_index is not None):
+            forward_by_layer.setdefault(kernel.layer_index, []).append(kernel)
+
+    if not forward_by_layer:
+        return trace
+
+    num_layers = max(forward_by_layer) + 1
+    segments = checkpoint_segments(num_layers, num_checkpoints)
+    segment_of = {}
+    for segment in segments:
+        for layer in segment:
+            segment_of[layer] = segment
+
+    rewritten: list[Kernel] = []
+    replayed: set[int] = set()  # segment start layers already replayed
+    for kernel in trace.kernels:
+        is_layer_backward = (kernel.phase is Phase.BACKWARD
+                             and kernel.component is Component.TRANSFORMER
+                             and kernel.layer_index is not None)
+        if is_layer_backward:
+            segment = segment_of[kernel.layer_index]
+            if segment.start not in replayed:
+                replayed.add(segment.start)
+                for layer in segment:
+                    for fwd in forward_by_layer.get(layer, []):
+                        rewritten.append(_as_recompute(fwd))
+        rewritten.append(kernel)
+    return trace.replaced(rewritten)
+
+
+def _is_attention_op(kernel: Kernel) -> bool:
+    from repro.ops.base import Region
+
+    return (kernel.layer_index is not None
+            and kernel.region in (Region.ATTENTION_BGEMM,
+                                  Region.ATTENTION_SMDSM))
+
+
+def reference_apply_fused_attention(trace: Trace) -> Trace:
+    """Per-kernel scan swapping eager attention ops for fused kernels."""
+    from repro.ops.base import Phase
+    from repro.ops.fused_attention import (fused_attention_backward_kernel,
+                                           fused_attention_forward_kernel)
+    from repro.trace.bert_trace import _activation_dtype
+
+    model = trace.model
+    training = trace.training
+    dtype = _activation_dtype(training)
+    batch_heads = training.batch_size * model.num_heads
+
+    def fused_for(layer: int, phase: Phase) -> Kernel:
+        builder = (fused_attention_forward_kernel
+                   if phase is Phase.FORWARD
+                   else fused_attention_backward_kernel)
+        return builder(seq_len=training.seq_len, d_head=model.d_head,
+                       batch_heads=batch_heads, dtype=dtype,
+                       layer_index=layer)
+
+    rewritten: list[Kernel] = []
+    emitted: set[tuple] = set()
+    for kernel in trace.kernels:
+        if not _is_attention_op(kernel):
+            rewritten.append(kernel)
+            continue
+        key = (kernel.layer_index, kernel.phase)
+        if key not in emitted:
+            emitted.add(key)
+            rewritten.append(fused_for(*key))
+    return trace.replaced(rewritten)
+
+
+def reference_apply_windowed_attention(trace: Trace,
+                                       window=None) -> Trace:
+    """Per-kernel scan swapping dense attention for block-local kernels."""
+    from repro.ops.base import Phase
+    from repro.ops.windowed_attention import (WindowConfig,
+                                              windowed_attention_op_kernels)
+    from repro.trace.bert_trace import _activation_dtype
+
+    window = window or WindowConfig()
+    model = trace.model
+    training = trace.training
+    dtype = _activation_dtype(training)
+    batch_heads = training.batch_size * model.num_heads
+
+    def kernels_for(layer: int, phase: Phase) -> list[Kernel]:
+        block = windowed_attention_op_kernels(
+            seq_len=training.seq_len, d_head=model.d_head,
+            batch_heads=batch_heads, window=window, dtype=dtype,
+            layer_index=layer)
+        return [k for k in block if k.phase is phase]
+
+    rewritten: list[Kernel] = []
+    emitted: set[tuple] = set()
+    for kernel in trace.kernels:
+        if not _is_attention_op(kernel):
+            rewritten.append(kernel)
+            continue
+        key = (kernel.layer_index, kernel.phase)
+        if key not in emitted:
+            emitted.add(key)
+            rewritten.extend(kernels_for(*key))
+    return trace.replaced(rewritten)
 
 
 def reference_summarize(profile: Profile) -> dict[str, float]:
