@@ -1,0 +1,157 @@
+"""Benchmark of the batched grid-profiling engine vs the run_point loop.
+
+Prices a 1000-point BERT Large grid (25 batch sizes x 20 sequence lengths
+x {FP32, mixed}) two ways:
+
+* **grid**: one :func:`repro.grid.engine.profile_grid` call — the whole
+  grid stamped into a single KernelTable and timed in one batched
+  tile/wave-model evaluation;
+* **loop**: the golden-oracle :func:`repro.experiments.common.run_point`
+  loop over the same points, cold per repeat (fresh in-process memo,
+  fresh throwaway cache directory, fresh device so the GEMM memo starts
+  empty — exactly what a first sweep over a new grid pays).
+
+A handful of sampled points are cross-checked for bit-identical totals,
+so the benchmark cannot silently compare against a diverged fast path.
+
+Writes ``BENCH_grid_engine.json`` at the repo root and exits non-zero if
+the grid path drops below ``MIN_SPEEDUP`` over the loop or takes longer
+than ``MAX_GRID_SECONDS`` end-to-end, so CI catches the engine regressing
+into per-point work.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_grid_engine.py``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import BERT_LARGE, Precision, TrainingConfig
+from repro.experiments.common import clear_memo, run_point
+from repro.grid.engine import grid_points, profile_grid
+from repro.hw.device import mi100
+from repro.runner.cache import configure_cache, reset_cache
+
+#: Minimum acceptable grid-vs-loop speedup on the full grid.
+MIN_SPEEDUP = 10.0
+
+#: Maximum acceptable end-to-end grid time (build + stamp + price).
+MAX_GRID_SECONDS = 1.0
+
+GRID_REPEATS = 3
+LOOP_REPEATS = 2
+
+BATCH_SIZES = (1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40,
+               48, 56, 64, 80, 96, 112, 128, 160, 192)
+SEQ_LENS = (32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384, 416,
+            448, 480, 512, 576, 640, 704, 768)
+PRECISIONS = (Precision.FP32, Precision.MIXED)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_grid_engine.json"
+
+
+def _points() -> list[TrainingConfig]:
+    return [TrainingConfig(batch_size=batch, seq_len=seq_len,
+                           precision=precision)
+            for batch in BATCH_SIZES
+            for seq_len in SEQ_LENS
+            for precision in PRECISIONS]
+
+
+def _time_grid(points) -> tuple[float, int]:
+    """Best-of-N end-to-end grid time (fresh device per repeat)."""
+    best, rows = float("inf"), 0
+    for _ in range(GRID_REPEATS):
+        device = mi100()  # cold GEMM memo
+        start = time.perf_counter()
+        profile = profile_grid(grid_points(BERT_LARGE, points), device)
+        best = min(best, time.perf_counter() - start)
+        rows = len(profile.trace.table)
+    return best, rows
+
+
+def _time_loop(points) -> float:
+    """Best-of-N cold run_point sweep over the same points."""
+    best = float("inf")
+    for _ in range(LOOP_REPEATS):
+        with tempfile.TemporaryDirectory(prefix="bench-grid-") as root:
+            clear_memo()
+            configure_cache(root)
+            device = mi100()
+            start = time.perf_counter()
+            for training in points:
+                run_point(BERT_LARGE, training, device)
+            best = min(best, time.perf_counter() - start)
+    reset_cache()
+    clear_memo()
+    return best
+
+
+def _check_equivalence(points) -> None:
+    """Spot-check grid totals against the loop oracle, bit for bit."""
+    device = mi100()
+    profile = profile_grid(grid_points(BERT_LARGE, points), device)
+    stride = max(1, len(points) // 7)
+    with tempfile.TemporaryDirectory(prefix="bench-grid-eq-") as root:
+        clear_memo()
+        configure_cache(root)
+        for index in range(0, len(points), stride):
+            _, oracle = run_point(BERT_LARGE, points[index], device)
+            grid_total = profile.point_total(index)
+            if grid_total != oracle.total_time:
+                raise AssertionError(
+                    f"grid diverged from run_point at point {index} "
+                    f"({points[index].label}): {grid_total!r} != "
+                    f"{oracle.total_time!r}")
+    reset_cache()
+    clear_memo()
+
+
+def run() -> dict:
+    points = _points()
+    _check_equivalence(points)
+    grid_s, rows = _time_grid(points)
+    loop_s = _time_loop(points)
+    return {
+        "model": "BERT Large",
+        "device": "mi100",
+        "points": len(points),
+        "kernel_rows": rows,
+        "grid_repeats": GRID_REPEATS,
+        "loop_repeats": LOOP_REPEATS,
+        "grid_s": grid_s,
+        "loop_s": loop_s,
+        "loop_per_point_ms": loop_s / len(points) * 1e3,
+        "speedup": loop_s / grid_s,
+        "min_speedup": MIN_SPEEDUP,
+        "max_grid_seconds": MAX_GRID_SECONDS,
+    }
+
+
+def main() -> int:
+    payload = run()
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(f"{payload['points']} points ({payload['kernel_rows']} kernel "
+          f"rows): grid {payload['grid_s']:.3f}s vs loop "
+          f"{payload['loop_s']:.2f}s "
+          f"({payload['loop_per_point_ms']:.2f} ms/pt) -> "
+          f"{payload['speedup']:.1f}x")
+
+    failed = False
+    if payload["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {payload['speedup']:.2f}x < {MIN_SPEEDUP}x")
+        failed = True
+    if payload["grid_s"] > MAX_GRID_SECONDS:
+        print(f"FAIL: grid took {payload['grid_s']:.3f}s "
+              f"> {MAX_GRID_SECONDS}s")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,24 @@ def _build_parser() -> argparse.ArgumentParser:
                              "'fuse_elementwise,checkpointing:4' "
                              "(see `repro passes`)")
 
+    grid = commands.add_parser(
+        "grid",
+        help="sweep a (batch, seq-len, precision) grid through the "
+             "batched grid engine")
+    grid.add_argument("--model", default="bert-large",
+                      choices=("bert-tiny", "bert-base", "bert-large",
+                               "c1", "c2", "c3"),
+                      help="architecture to sweep (default bert-large)")
+    grid.add_argument("--batch-sizes", default="4,16,32", metavar="B,B,...",
+                      help="comma-separated batch sizes (default 4,16,32)")
+    grid.add_argument("--seq-lens", default="128,512", metavar="N,N,...",
+                      help="comma-separated sequence lengths "
+                           "(default 128,512)")
+    grid.add_argument("--precisions", default="fp32", metavar="P,P,...",
+                      help="comma-separated from fp32,mixed (default fp32)")
+    grid.add_argument("--csv", default=None, metavar="PATH",
+                      help="also write the rows as CSV")
+
     commands.add_parser(
         "passes", help="list the registered trace-rewrite passes")
 
@@ -263,6 +281,54 @@ def _cmd_cache(action: str) -> int:
     return 0
 
 
+def _cmd_grid(model_name: str, batch_sizes: str, seq_lens: str,
+              precisions: str, csv_path: str | None) -> int:
+    from repro.config import (BERT_BASE, BERT_LARGE, BERT_TINY, C1, C2, C3,
+                              Precision)
+    from repro.experiments.sweeps import cross_product, grid_sweep, rows_to_csv
+    from repro.report.tables import format_percent, format_table
+
+    models = {"bert-tiny": BERT_TINY, "bert-base": BERT_BASE,
+              "bert-large": BERT_LARGE, "c1": C1, "c2": C2, "c3": C3}
+    precision_names = {"fp32": Precision.FP32, "mixed": Precision.MIXED}
+    try:
+        batches = [int(b) for b in batch_sizes.split(",") if b]
+        lengths = [int(n) for n in seq_lens.split(",") if n]
+        precs = [precision_names[p.strip().lower()]
+                 for p in precisions.split(",") if p]
+    except (KeyError, ValueError):
+        print("bad grid axis; batch sizes and seq lens are integers, "
+              "precisions come from fp32,mixed", file=sys.stderr)
+        return 2
+    if not (batches and lengths and precs):
+        print("empty grid axis", file=sys.stderr)
+        return 2
+
+    rows = grid_sweep(models[model_name],
+                      cross_product(batches, lengths, precs))
+    table = []
+    for row in rows:
+        if "error" in row:
+            table.append((row["label"], row["tokens"], "FAILED",
+                          row["error"], "", ""))
+            continue
+        table.append((row["label"], row["tokens"],
+                      f"{row['total_time_s'] * 1e3:.2f} ms",
+                      format_percent(row["transformer"]),
+                      format_percent(row["optimizer"]),
+                      format_percent(row["output"])))
+    print(f"{model_name}: {len(rows)} points, one stamped grid")
+    print(format_table(("point", "tokens", "iteration", "transformer",
+                        "optimizer", "output"), table))
+    if csv_path:
+        rendered = rows_to_csv(rows)
+        with open(csv_path, "w", newline="") as handle:
+            handle.write(rendered)
+        print(f"wrote {csv_path}")
+    failures = sum(1 for row in rows if "error" in row)
+    return 1 if failures else 0
+
+
 def _cmd_passes() -> int:
     from repro.trace.passes import available_passes
 
@@ -340,6 +406,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stats(args.run)
     if args.command == "cache":
         return _cmd_cache(args.action)
+    if args.command == "grid":
+        return _cmd_grid(args.model, args.batch_sizes, args.seq_lens,
+                         args.precisions, args.csv)
     if args.command == "passes":
         return _cmd_passes()
     if args.command == "info":

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import BERT_LARGE, FIG3_POINTS, BertConfig, TrainingConfig
-from repro.experiments.common import run_point
 from repro.hw.device import DeviceModel
 from repro.report.bars import bar_chart
 
@@ -43,13 +42,12 @@ class Fig3Row:
 def run(model: BertConfig = BERT_LARGE,
         points: tuple[TrainingConfig, ...] = FIG3_POINTS,
         device: DeviceModel | None = None) -> list[Fig3Row]:
-    """Compute the Fig. 3 rows."""
-    from repro.profiler.breakdown import summarize
+    """Compute the Fig. 3 rows (one batched grid evaluation)."""
+    from repro.grid.engine import grid_points, grid_summaries
 
     rows = []
-    for training in points:
-        _, profile = run_point(model, training, device)
-        s = summarize(profile)
+    summaries = grid_summaries(grid_points(model, points), device)
+    for training, s in zip(points, summaries):
         rows.append(Fig3Row(label=training.label, total_s=s["total_time_s"],
                             transformer=s["transformer"], output=s["output"],
                             embedding=s["embedding"],

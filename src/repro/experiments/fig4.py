@@ -59,14 +59,17 @@ class Fig4Row:
         return 1.0 - self.gemm_total
 
 
-def run_one(training: TrainingConfig, model: BertConfig = BERT_LARGE,
-            device: DeviceModel | None = None) -> Fig4Row:
-    """Hierarchical fractions at one operating point."""
-    _, profile = run_point(model, training, device)
+def row_from_profile(label: str, profile) -> Fig4Row:
+    """Hierarchical fractions of an already-computed profile.
+
+    Shared by the loop path (:func:`run_one`) and the grid-engine sweeps
+    (fig8/fig9/scaling trends), which hand in per-point profiles sliced
+    from one batched grid evaluation.
+    """
     regions = region_breakdown(profile)
     summary = summarize(profile)
     return Fig4Row(
-        label=training.label,
+        label=label,
         attention_linear=regions[Region.ATTENTION_LINEAR].fraction,
         attention_bgemm=regions[Region.ATTENTION_BGEMM].fraction,
         attention_smdsm=regions[Region.ATTENTION_SMDSM].fraction,
@@ -76,6 +79,13 @@ def run_one(training: TrainingConfig, model: BertConfig = BERT_LARGE,
         gemm_total=gemm_fraction(profile),
         optimizer=summary["optimizer"],
     )
+
+
+def run_one(training: TrainingConfig, model: BertConfig = BERT_LARGE,
+            device: DeviceModel | None = None) -> Fig4Row:
+    """Hierarchical fractions at one operating point."""
+    _, profile = run_point(model, training, device)
+    return row_from_profile(training.label, profile)
 
 
 def run(model: BertConfig = BERT_LARGE, batch_size: int = 32,

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.config import (BERT_LARGE, BertConfig, Precision, TrainingConfig,
                           training_point)
-from repro.experiments.fig4 import Fig4Row, run_one
+from repro.experiments.fig4 import Fig4Row
 from repro.hw.device import DeviceModel
 from repro.report.tables import format_percent, format_table
 
@@ -52,11 +52,16 @@ class Fig8Row:
 def run(model: BertConfig = BERT_LARGE,
         points: tuple[TrainingConfig, ...] = DEFAULT_POINTS,
         device: DeviceModel | None = None) -> list[Fig8Row]:
-    """Region breakdowns across the input-size sweep."""
+    """Region breakdowns across the input-size sweep (one grid build)."""
+    from repro.experiments.fig4 import row_from_profile
+    from repro.grid.engine import grid_points, profile_grid
+
+    profile = profile_grid(grid_points(model, points), device)
     return [Fig8Row(label=training.label,
                     tokens=training.tokens_per_iteration,
-                    regions=run_one(training, model, device))
-            for training in points]
+                    regions=row_from_profile(training.label,
+                                             profile.point_profile(i)))
+            for i, training in enumerate(points)]
 
 
 def render(rows: list[Fig8Row]) -> str:

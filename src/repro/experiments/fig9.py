@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.config import (C1, C2, C3, BertConfig, Precision, TrainingConfig,
                           training_point)
-from repro.experiments.fig4 import Fig4Row, run_one
+from repro.experiments.fig4 import Fig4Row
 from repro.hw.device import DeviceModel
 from repro.report.tables import format_percent, format_table
 
@@ -64,13 +64,22 @@ def run(configs: tuple[BertConfig, ...] = WIDTH_CONFIGS,
     linear+FC GEMM share and LAMB share growing with width — are visible
     and LAMB approaches the paper's ~34% at C3.
     """
+    from repro.experiments.fig4 import row_from_profile
+    from repro.grid.engine import profile_grid
+
     training = training or training_point(1, 8, Precision.FP32)
+    # One stacked grid across *models*: each config is its own stamp
+    # family, but the whole sweep is still priced in one timing call.
+    profile = profile_grid([(config, training) for config in configs],
+                           device)
     rows = []
-    for config in configs:
+    for i, config in enumerate(configs):
         rows.append(Fig9Row(config_name=config.name, d_model=config.d_model,
                             num_layers=config.num_layers,
                             parameters=config.total_parameters(),
-                            regions=run_one(training, config, device)))
+                            regions=row_from_profile(
+                                training.label,
+                                profile.point_profile(i))))
     return rows
 
 

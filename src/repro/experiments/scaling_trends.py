@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from repro.config import (BERT_BASE, BERT_LARGE, BertConfig, Precision,
                           TrainingConfig, training_point)
 from repro.experiments.common import default_device
-from repro.experiments.fig4 import run_one
 from repro.hw.device import DeviceModel
 from repro.memoryplan.footprint import training_footprint
 from repro.report.tables import format_percent, format_table
@@ -66,11 +65,16 @@ def run(configs: tuple[BertConfig, ...] = SCALE_LADDER,
     A small batch keeps the biggest models addressable by the footprint
     model and matches Fig. 9's regime where the LAMB trend is strongest.
     """
+    from repro.experiments.fig4 import row_from_profile
+    from repro.grid.engine import profile_grid
+
     training = training or training_point(1, 8, Precision.FP32)
     device = device or default_device()
+    profile = profile_grid([(config, training) for config in configs],
+                           device)
     rows = []
-    for config in configs:
-        regions = run_one(training, config, device)
+    for i, config in enumerate(configs):
+        regions = row_from_profile(training.label, profile.point_profile(i))
         footprint = training_footprint(config, training)
         rows.append(ScalingRow(
             name=config.name,

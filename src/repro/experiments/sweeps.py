@@ -21,7 +21,7 @@ from repro.profiler.breakdown import summarize
 
 
 def _flatten(value, prefix: str = "") -> dict[str, object]:
-    """Flatten dataclasses/dicts/enums into scalar CSV cells."""
+    """Flatten dataclasses/dicts/sequences/enums into scalar CSV cells."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         out = {}
         for field in dataclasses.fields(value):
@@ -32,6 +32,13 @@ def _flatten(value, prefix: str = "") -> dict[str, object]:
         out = {}
         for key, item in value.items():
             out.update(_flatten(item, f"{prefix}{key}."))
+        return out
+    if isinstance(value, (list, tuple)):
+        # Indexed columns (``field.0``, ``field.1``, ...) instead of one
+        # stringified cell, so per-element values stay machine-readable.
+        out = {}
+        for index, item in enumerate(value):
+            out.update(_flatten(item, f"{prefix}{index}."))
         return out
     if hasattr(value, "value") and hasattr(type(value), "__members__"):
         return {prefix.rstrip("."): value.value}  # Enum
@@ -73,22 +80,37 @@ def export_experiment_csv(experiment_id: str, path: str) -> None:
     if not isinstance(result, list):
         raise TypeError(f"experiment {experiment_id!r} does not return "
                         "a row list")
+    # Render before opening the file: a row that fails to flatten must not
+    # leave behind a truncated (or emptied pre-existing) output file.
+    rendered = rows_to_csv(result)
     with open(path, "w", newline="") as handle:
-        handle.write(rows_to_csv(result))
+        handle.write(rendered)
+
+
+def _point_columns(training: TrainingConfig) -> dict[str, object]:
+    """The identifying columns every sweep row starts with."""
+    return {
+        "label": training.label,
+        "batch_size": training.batch_size,
+        "seq_len": training.seq_len,
+        "tokens": training.tokens_per_iteration,
+    }
+
+
+def _error_row(training: TrainingConfig, error: Exception
+               ) -> dict[str, object]:
+    """Structured row for a point that failed to profile."""
+    return {
+        **_point_columns(training),
+        "error": f"{type(error).__name__}: {error}",
+    }
 
 
 def _sweep_row(model: BertConfig, training: TrainingConfig,
                device: DeviceModel | None) -> dict[str, object]:
     """Summary dict of one sweep point (top-level so workers can pickle it)."""
     _, profile = run_point(model, training, device)
-    stats = summarize(profile)
-    return {
-        "label": training.label,
-        "batch_size": training.batch_size,
-        "seq_len": training.seq_len,
-        "tokens": training.tokens_per_iteration,
-        **stats,
-    }
+    return {**_point_columns(training), **summarize(profile)}
 
 
 def grid_sweep(model: BertConfig,
@@ -98,6 +120,18 @@ def grid_sweep(model: BertConfig,
                jobs: int = 1) -> list[dict[str, object]]:
     """Profile every training point; return one summary dict per point.
 
+    In-process sweeps go through the batched grid engine
+    (:func:`repro.grid.engine.grid_summaries`): the whole grid is stamped
+    into one KernelTable and priced in a single timing evaluation, with
+    one disk-cache entry per grid signature.  Worker-pool sweeps
+    (``jobs > 1``) keep the per-point :func:`run_point` path so workers
+    populate the shared per-point cache.
+
+    A point that fails to profile no longer aborts the sweep: its row is
+    a structured error entry (``label``/``batch_size``/``seq_len``/
+    ``tokens`` plus an ``error`` column) and every other point's row
+    survives.  ``metrics`` is only applied to successful rows.
+
     Args:
         model: architecture to sweep.
         trainings: training points.
@@ -105,19 +139,52 @@ def grid_sweep(model: BertConfig,
         metrics: optional post-processor mapping the summary dict to the
             columns you want.
         jobs: worker processes for large sweeps; 1 runs in-process.
-            Rows come back in ``trainings`` order either way, and workers
-            populate the shared disk cache, so re-sweeping is cheap.
+            Rows come back in ``trainings`` order either way.
     """
     trainings = list(trainings)
     if jobs <= 1 or len(trainings) <= 1:
-        rows = [_sweep_row(model, training, device)
-                for training in trainings]
+        rows = _grid_rows(model, trainings, device)
     else:
         import concurrent.futures
         with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-            rows = list(pool.map(_sweep_row, itertools.repeat(model),
-                                 trainings, itertools.repeat(device)))
-    return [metrics(row) for row in rows] if metrics else rows
+            futures = [pool.submit(_sweep_row, model, training, device)
+                       for training in trainings]
+            rows = []
+            for training, future in zip(trainings, futures):
+                try:
+                    rows.append(future.result())
+                except Exception as error:
+                    rows.append(_error_row(training, error))
+    if metrics is None:
+        return rows
+    return [row if "error" in row else metrics(row) for row in rows]
+
+
+def _grid_rows(model: BertConfig, trainings: list[TrainingConfig],
+               device: DeviceModel | None) -> list[dict[str, object]]:
+    """In-process sweep rows via the grid engine, per-point on failure.
+
+    A bad point poisons the whole stamped grid, so when the batched path
+    raises the sweep degrades to the per-point loop — isolating the
+    failure to its own error row instead of losing the sweep.
+    """
+    from repro.grid.engine import grid_points, grid_summaries
+
+    if trainings:
+        try:
+            summaries = grid_summaries(grid_points(model, trainings), device)
+        except Exception:
+            pass
+        else:
+            return [{**_point_columns(training), **summary}
+                    for training, summary in zip(trainings, summaries)]
+    rows = []
+    for training in trainings:
+        try:
+            rows.append(_sweep_row(model, training, device))
+        except Exception as error:
+            rows.append(_error_row(training, error))
+    return rows
 
 
 def cross_product(batch_sizes: Iterable[int], seq_lens: Iterable[int],

@@ -1,0 +1,25 @@
+"""Batched grid-profiling engine.
+
+Stamps a whole sweep grid — many ``(model, B, n, dtype)`` operating
+points — into **one** stacked :class:`~repro.trace.kernel_table.
+KernelTable` with a per-row point index, and prices the entire grid with
+a single :func:`repro.hw.timing.kernel_times` call, so one ``np.unique``
+over (shape, dtype) pairs evaluates every point's GEMMs in one batched
+tile/wave-model pass.  Per-point results are bit-exact against the
+:func:`repro.experiments.common.run_point` loop (the golden oracle the
+test suite pins them to).
+
+Layering: this package sits with :mod:`repro.trace` / :mod:`repro.hw`,
+below :mod:`repro.experiments` — the sweep/figure modules call into it.
+"""
+
+from repro.grid.engine import (GridPoint, GridProfile, GridTrace,
+                               build_grid_trace, grid_points, grid_summaries,
+                               profile_grid)
+from repro.grid.lanes import LaneTraining, family_key
+
+__all__ = [
+    "GridPoint", "GridProfile", "GridTrace", "LaneTraining",
+    "build_grid_trace", "family_key", "grid_points", "grid_summaries",
+    "profile_grid",
+]

@@ -1,0 +1,276 @@
+"""Grid traces: whole sweep grids profiled as one stacked KernelTable.
+
+:func:`build_grid_trace` groups points into stamp families
+(:func:`~repro.grid.lanes.family_key`), stamps each family's template once
+with lane-vectorized emitters, applies any per-point trace rewrites
+(activation checkpointing, user pass pipelines) on the point's own row
+slice, and concatenates everything into one table with per-point row
+ranges.  :func:`profile_grid` then prices the whole grid with a **single**
+:func:`~repro.hw.timing.kernel_times` call — one ``np.unique`` over
+(GEMM shape, dtype) pairs covers every point — and hands back per-point
+:class:`~repro.profiler.profiler.Profile` views that are bit-exact
+against the :func:`~repro.experiments.common.run_point` loop.
+
+:func:`grid_summaries` is the sweep-facing entry point: one disk-cache
+entry per grid signature (:meth:`~repro.runner.cache.ResultCache.
+grid_key`), per-point breakdown rows positionally aligned with the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.config import BertConfig, TrainingConfig
+from repro.grid.lanes import family_key
+from repro.grid.stamp import stamp_family
+from repro.hw.device import DeviceModel, mi100
+from repro.hw.timing import kernel_times
+from repro.obs import metrics, spans
+from repro.profiler.profiler import Profile
+from repro.runner import telemetry
+from repro.runner.cache import get_cache
+from repro.trace.builder import Trace
+from repro.trace.kernel_table import KernelTable
+from repro.trace.passes import PassManager
+
+_GRIDS = metrics.counter(
+    "grid_engine.grids", "whole grids profiled through the batched engine")
+_POINTS = metrics.counter(
+    "grid_engine.points", "operating points priced via grid stamping")
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One operating point of a grid: a model at a training configuration."""
+
+    model: BertConfig
+    training: TrainingConfig
+
+
+def grid_points(model: BertConfig,
+                trainings: Iterable[TrainingConfig]) -> list[GridPoint]:
+    """Convenience: one model crossed with many training configs."""
+    return [GridPoint(model, training) for training in trainings]
+
+
+def _normalize(points: Iterable) -> tuple[GridPoint, ...]:
+    """Accept GridPoints or (model, training) pairs; reject empty grids."""
+    normalized = []
+    for point in points:
+        if isinstance(point, GridPoint):
+            normalized.append(point)
+        else:
+            model, training = point
+            normalized.append(GridPoint(model, training))
+    if not normalized:
+        raise ValueError("a grid needs at least one point")
+    return tuple(normalized)
+
+
+class GridTrace:
+    """P points stamped into one stacked table, each point's rows contiguous.
+
+    ``point_index`` labels every row with its owning point (int32, the
+    ``point`` column sweeps export); ``starts``/``stops`` give each
+    point's half-open row range in input order.
+    """
+
+    def __init__(self, points: tuple[GridPoint, ...], table: KernelTable,
+                 point_index: np.ndarray, starts: np.ndarray,
+                 stops: np.ndarray):
+        self.points = points
+        self.table = table
+        self.point_index = point_index
+        self.starts = starts
+        self.stops = stops
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def point_rows(self, index: int) -> tuple[int, int]:
+        """Half-open row range ``[start, stop)`` of one point."""
+        return int(self.starts[index]), int(self.stops[index])
+
+    def point_table(self, index: int) -> KernelTable:
+        """One point's rows as a pool-sharing KernelTable view."""
+        start, stop = self.point_rows(index)
+        return self.table.slice_rows(start, stop)
+
+    def point_trace(self, index: int) -> Trace:
+        """One point's rows wrapped as a regular columnar Trace."""
+        point = self.points[index]
+        return Trace.from_table(point.model, point.training,
+                                self.point_table(index))
+
+
+def _transform_point(table: KernelTable, model: BertConfig,
+                     training: TrainingConfig,
+                     passes: PassManager | None) -> KernelTable:
+    """Apply the rewrites run_point's build path would, on one point's rows.
+
+    Trace passes see one iteration at a time — running them on the stacked
+    table would let window/pairing logic leak across point boundaries.
+    """
+    if training.activation_checkpointing:
+        # Lazy: repro.memoryplan imports repro.trace at module scope.
+        from repro.memoryplan.checkpointing import CheckpointingPass
+        table = PassManager((CheckpointingPass(),)).run_table(
+            table, model, training)
+    if passes is not None and passes.passes:
+        table = passes.run_table(table, model, training)
+    return table
+
+
+def build_grid_trace(points: Iterable, *,
+                     passes: PassManager | None = None) -> GridTrace:
+    """Stamp a whole grid into one stacked KernelTable.
+
+    Points are grouped by :func:`family_key`; each family is stamped once
+    via lane-vectorized emitters regardless of how many points it holds.
+    Row ranges come back in *input* order even though stamping proceeds
+    family by family.
+    """
+    points = _normalize(points)
+    with spans.span("grid.build", points=len(points)):
+        families: dict[tuple, tuple[list[int], list[TrainingConfig]]] = {}
+        for index, point in enumerate(points):
+            key = family_key(point.model, point.training)
+            indices, trainings = families.setdefault(key, ([], []))
+            indices.append(index)
+            trainings.append(point.training)
+
+        pieces: list[KernelTable] = []
+        layout: list[tuple[int, int]] = []  # (input index, row count)
+        for key, (indices, trainings) in families.items():
+            model = key[0]
+            with spans.span("grid.stamp", model=model.name,
+                            points=len(trainings)):
+                table, rows_per_point = stamp_family(model, trainings)
+                spans.annotate(kernels=len(table))
+            needs_rewrite = (trainings[0].activation_checkpointing
+                             or (passes is not None and passes.passes))
+            if needs_rewrite:
+                for j, (index, training) in enumerate(zip(indices,
+                                                          trainings)):
+                    sub = _transform_point(
+                        table.slice_rows(j * rows_per_point,
+                                         (j + 1) * rows_per_point),
+                        model, training, passes)
+                    pieces.append(sub)
+                    layout.append((index, len(sub)))
+            else:
+                pieces.append(table)
+                layout.extend((index, rows_per_point) for index in indices)
+
+        stacked = pieces[0] if len(pieces) == 1 else KernelTable.concat(pieces)
+        starts = np.empty(len(points), dtype=np.int64)
+        stops = np.empty(len(points), dtype=np.int64)
+        point_index = np.empty(len(stacked), dtype=np.int32)
+        offset = 0
+        for index, count in layout:
+            starts[index] = offset
+            stops[index] = offset + count
+            point_index[offset:offset + count] = index
+            offset += count
+        spans.annotate(kernels=len(stacked), families=len(families))
+    return GridTrace(points, stacked, point_index, starts, stops)
+
+
+class GridProfile:
+    """One timing array covering a whole grid, sliceable per point.
+
+    Every per-point accessor reduces over the *same contiguous slice* the
+    loop path's Profile would hold, so totals and masked breakdowns match
+    :func:`~repro.experiments.common.run_point` bit for bit.
+    """
+
+    def __init__(self, trace: GridTrace, device: DeviceModel,
+                 times: np.ndarray):
+        self.trace = trace
+        self.device = device
+        times = np.asarray(times, dtype=np.float64)
+        times.flags.writeable = False
+        self.times = times
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+    @property
+    def points(self) -> tuple[GridPoint, ...]:
+        return self.trace.points
+
+    def point_profile(self, index: int) -> Profile:
+        """One point's rows + times as a regular columnar Profile."""
+        start, stop = self.trace.point_rows(index)
+        return Profile(self.device, table=self.trace.point_table(index),
+                       times=self.times[start:stop])
+
+    def point_total(self, index: int) -> float:
+        """One point's iteration time in seconds."""
+        start, stop = self.trace.point_rows(index)
+        return float(np.sum(self.times[start:stop]))
+
+    def totals(self) -> np.ndarray:
+        """Per-point iteration times, input order."""
+        return np.array([self.point_total(i) for i in range(len(self))])
+
+
+def profile_grid(points: Iterable, device: DeviceModel | None = None, *,
+                 passes: PassManager | None = None) -> GridProfile:
+    """Build and price a whole grid with one batched timing evaluation."""
+    grid = build_grid_trace(points, passes=passes)
+    if device is None:
+        device = mi100()
+    with spans.span("grid.profile", points=len(grid),
+                    kernels=len(grid.table), device=device.name):
+        times = kernel_times(grid.table, device)
+    _GRIDS.inc()
+    _POINTS.inc(len(grid))
+    collector = telemetry.current()
+    if collector is not None:
+        for index in range(len(grid)):
+            start, stop = grid.point_rows(index)
+            collector.record_point(kernels=stop - start, hit=False)
+    return GridProfile(grid, device, times)
+
+
+def grid_summaries(points: Iterable, device: DeviceModel | None = None, *,
+                   passes: PassManager | None = None,
+                   use_cache: bool = True) -> list[dict]:
+    """Per-point breakdown rows for a whole grid, disk-cached as one entry.
+
+    Rows are :func:`repro.profiler.breakdown.summarize` dicts,
+    positionally aligned with ``points``.  The cache entry is keyed on the
+    full grid signature (:meth:`~repro.runner.cache.ResultCache.grid_key`)
+    — any point, the device, the code, or the pass pipeline changing
+    invalidates it.
+    """
+    from repro.profiler.breakdown import summarize
+
+    points = _normalize(points)
+    if device is None:
+        device = mi100()
+    pipeline = passes.signature if passes is not None else ""
+    cache = get_cache()
+    key = cache.grid_key(((p.model, p.training) for p in points), device,
+                         pipeline=pipeline)
+    if use_cache:
+        payload = cache.get_payload(key)
+        if payload is not None:
+            collector = telemetry.current()
+            if collector is not None:
+                for kernels in payload["kernels"]:
+                    collector.record_point(kernels=int(kernels), hit=True)
+            return [dict(row) for row in payload["rows"]]
+
+    profile = profile_grid(points, device, passes=passes)
+    rows = [summarize(profile.point_profile(i)) for i in range(len(points))]
+    if use_cache:
+        kernels = [stop - start for start, stop in
+                   zip(profile.trace.starts.tolist(),
+                       profile.trace.stops.tolist())]
+        cache.put_payload(key, {"rows": rows, "kernels": kernels})
+    return [dict(row) for row in rows]

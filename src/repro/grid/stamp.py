@@ -1,0 +1,184 @@
+"""Stamp one point family into a stacked, point-major KernelTable.
+
+One emitter walk with :class:`~repro.grid.lanes.LaneTraining` lanes yields
+*template* kernels whose numeric fields are ``(P,)`` arrays (one lane per
+point).  This module assembles them into the same row order
+:func:`repro.trace.bert_trace.build_iteration_trace` produces per point —
+embedding FWD, encoder layers FWD (0..N-1), output head FWD+BWD, encoder
+layers BWD (N-1..0), embedding BWD + optimizer — with each point's rows
+**contiguous** in the stacked table.  Contiguity is what keeps per-point
+aggregation bit-exact against the loop path: a point's times are a plain
+slice, so masked sums reduce over the same arrays in the same order.
+
+GEMM shapes are pooled across the whole family with one
+``np.unique(axis=0)`` over the ``(m, n, k, batch, tA, tB, acc)`` integer
+matrix; the pooled :class:`~repro.ops.gemm.GemmShape` records are rebuilt
+from Python ints so they hash/compare equal to loop-built shapes and share
+the per-device GEMM-time memo.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import BertConfig, TrainingConfig
+from repro.grid.lanes import LaneTraining
+from repro.ops.base import Kernel
+from repro.ops.gemm import GemmShape
+from repro.trace.bert_trace import (embedding_backward_kernels,
+                                    embedding_forward_kernels,
+                                    output_head_backward_kernels,
+                                    output_head_forward_kernels,
+                                    transformer_layer_backward_kernels,
+                                    transformer_layer_forward_kernels)
+from repro.trace.kernel_table import KernelTable, code_of
+from repro.trace.parameters import bert_parameter_inventory
+
+#: GemmShape fields flattened into the integer pooling matrix, in order.
+_GEMM_FIELDS = ("m", "n", "k", "batch", "transpose_a", "transpose_b",
+                "accumulate")
+
+
+def _template_kernels(model: BertConfig, lanes: LaneTraining
+                      ) -> tuple[list[Kernel], list[int]]:
+    """Unique template kernels plus section sizes, in iteration order.
+
+    Sections: embedding FWD, one encoder layer FWD, output head FWD+BWD,
+    one encoder layer BWD, embedding BWD + optimizer.  The optimizer and
+    parameter inventory depend only on the model and the family's
+    structural fields, so they are emitted once (scalar) per family.
+    """
+    # Lazy for the same reason as build_iteration_trace: repro.optim needs
+    # the parameter inventory from repro.trace, so a module-level import
+    # of it here would be circular through repro.trace.bert_trace.
+    from repro.optim.kernels import optimizer_kernels
+
+    emb_fwd = embedding_forward_kernels(model, lanes)
+    layer_fwd = transformer_layer_forward_kernels(model, lanes)
+    heads = (output_head_forward_kernels(model, lanes)
+             + output_head_backward_kernels(model, lanes))
+    layer_bwd = transformer_layer_backward_kernels(model, lanes)
+    tail = (embedding_backward_kernels(model, lanes)
+            + optimizer_kernels(lanes.optimizer,
+                                bert_parameter_inventory(model),
+                                precision=lanes.precision,
+                                fused=lanes.fuse_optimizer))
+    sections = [emb_fwd, layer_fwd, heads, layer_bwd, tail]
+    template = [kernel for section in sections for kernel in section]
+    return template, [len(section) for section in sections]
+
+
+def _point_layout(sizes: list[int], num_layers: int
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """(template row ids, layer attribution) of one point's row sequence.
+
+    Mirrors ``build_iteration_trace``: the encoder-layer sections repeat
+    ``num_layers`` times (FWD ascending, BWD descending layer stamp);
+    everything else appears once with no layer attribution.
+    """
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    emb_f, layer_f, heads, layer_b, tail = (
+        np.arange(bounds[i], bounds[i + 1]) for i in range(5))
+    ids = np.concatenate([
+        emb_f,
+        np.tile(layer_f, num_layers),
+        heads,
+        np.tile(layer_b, num_layers),
+        tail,
+    ])
+    layer = np.concatenate([
+        np.full(sizes[0], -1, dtype=np.int32),
+        np.repeat(np.arange(num_layers, dtype=np.int32), sizes[1]),
+        np.full(sizes[2], -1, dtype=np.int32),
+        np.repeat(np.arange(num_layers - 1, -1, -1, dtype=np.int32),
+                  sizes[3]),
+        np.full(sizes[4], -1, dtype=np.int32),
+    ])
+    return ids, layer
+
+
+def _pool_gemms(template: list[Kernel],
+                lane_count: int) -> tuple[np.ndarray, tuple[GemmShape, ...]]:
+    """Per-(template row, lane) GEMM codes plus the pooled shape tuple."""
+    gemm_rows = [i for i, k in enumerate(template) if k.gemm is not None]
+    codes = np.full((len(template), lane_count), -1, dtype=np.int64)
+    if not gemm_rows:
+        return codes, ()
+    dims = np.empty((len(gemm_rows), lane_count, len(_GEMM_FIELDS)),
+                    dtype=np.int64)
+    for j, i in enumerate(gemm_rows):
+        shape = template[i].gemm
+        for column, name in enumerate(_GEMM_FIELDS):
+            dims[j, :, column] = getattr(shape, name)  # scalars broadcast
+    unique, inverse = np.unique(dims.reshape(-1, len(_GEMM_FIELDS)),
+                                axis=0, return_inverse=True)
+    pool = tuple(
+        GemmShape(m=int(row[0]), n=int(row[1]), k=int(row[2]),
+                  batch=int(row[3]), transpose_a=bool(row[4]),
+                  transpose_b=bool(row[5]), accumulate=bool(row[6]))
+        for row in unique)
+    codes[np.asarray(gemm_rows)] = inverse.reshape(len(gemm_rows),
+                                                   lane_count)
+    return codes, pool
+
+
+def stamp_family(model: BertConfig, trainings: Sequence[TrainingConfig]
+                 ) -> tuple[KernelTable, int]:
+    """Stack one family's P points into a single point-major table.
+
+    Returns ``(table, rows_per_point)``; point ``j`` (in ``trainings``
+    order) owns rows ``[j * rows_per_point, (j + 1) * rows_per_point)``,
+    in ``build_iteration_trace`` order.
+    """
+    lanes = LaneTraining(trainings)
+    point_count = len(lanes)
+    template, sizes = _template_kernels(model, lanes)
+    ids, layer = _point_layout(sizes, model.num_layers)
+
+    # Static per-template-row columns (identical across lanes).
+    name_pool: dict[str, int] = {}
+    fusion_pool: dict[str, int] = {}
+    name_code = np.array(
+        [name_pool.setdefault(k.name, len(name_pool)) for k in template],
+        dtype=np.int32)
+    fusion_code = np.array(
+        [-1 if k.fusion_group is None
+         else fusion_pool.setdefault(k.fusion_group, len(fusion_pool))
+         for k in template], dtype=np.int32)
+
+    def codes(attr: str) -> np.ndarray:
+        return np.array([code_of(getattr(k, attr)) for k in template],
+                        dtype=np.int8)
+
+    # Numeric (template row, lane) matrices; scalar fields broadcast.
+    def matrix(attr: str) -> np.ndarray:
+        out = np.empty((len(template), point_count), dtype=np.int64)
+        for i, kernel in enumerate(template):
+            out[i, :] = getattr(kernel, attr)
+        return out
+
+    gemm_matrix, gemms = _pool_gemms(template, point_count)
+
+    def tile(column: np.ndarray) -> np.ndarray:
+        """Static column -> stacked P*K column (same values every point)."""
+        return np.tile(column[ids], point_count)
+
+    def stack(matrix_: np.ndarray) -> np.ndarray:
+        """(template, lane) matrix -> point-major stacked column."""
+        return matrix_[ids].T.ravel()
+
+    table = KernelTable(
+        name_code=tile(name_code), names=tuple(name_pool),
+        op_class=tile(codes("op_class")), phase=tile(codes("phase")),
+        component=tile(codes("component")), region=tile(codes("region")),
+        dtype=tile(codes("dtype")), access=tile(codes("access")),
+        flops=stack(matrix("flops")),
+        bytes_read=stack(matrix("bytes_read")),
+        bytes_written=stack(matrix("bytes_written")),
+        n_elements=stack(matrix("n_elements")),
+        layer=np.tile(layer, point_count),
+        gemm_code=stack(gemm_matrix), gemms=gemms,
+        fusion_code=tile(fusion_code), fusion_groups=tuple(fusion_pool))
+    return table, len(ids)

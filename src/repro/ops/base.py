@@ -14,6 +14,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from enum import Enum
 
+import numpy as np
+
+
+def lanes_any(condition) -> bool:
+    """Truth of a possibly lane-vectorized condition.
+
+    The kernel constructors accept either scalar operating-point sizes or
+    per-point "lane" arrays (one element per grid point; see
+    :mod:`repro.grid`).  Validation predicates built from them are plain
+    bools in the scalar case and boolean arrays in the lane case; this
+    reduces both to one answer without slowing the scalar hot path.
+    """
+    if isinstance(condition, np.ndarray):
+        return bool(condition.any())
+    return bool(condition)
+
+
+def lanes_round(value):
+    """``int(round(value))`` generalized over lane arrays.
+
+    Both branches round half to even (Python's ``round`` and NumPy's
+    ``rint``), so a lane array rounds bit-identically to running the
+    scalar path once per lane.
+    """
+    if isinstance(value, np.ndarray):
+        return np.rint(value).astype(np.int64)
+    return int(round(value))
+
 
 class DType(Enum):
     """Element datatypes that appear in BERT training."""
@@ -166,7 +194,8 @@ class Kernel:
     n_elements: int = 0
 
     def __post_init__(self) -> None:
-        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+        if (lanes_any(self.flops < 0) or lanes_any(self.bytes_read < 0)
+                or lanes_any(self.bytes_written < 0)):
             raise ValueError(f"kernel {self.name!r} has negative cost fields")
 
     @property

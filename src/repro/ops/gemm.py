@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ops.base import DType
+from repro.ops.base import DType, lanes_any
 
 
 @dataclass(frozen=True)
@@ -41,7 +41,8 @@ class GemmShape:
     accumulate: bool = False
 
     def __post_init__(self) -> None:
-        if min(self.m, self.n, self.k, self.batch) <= 0:
+        if any(lanes_any(dim <= 0)
+               for dim in (self.m, self.n, self.k, self.batch)):
             raise ValueError(f"GEMM dims must be positive, got {self}")
 
     # ------------------------------------------------------------------ cost

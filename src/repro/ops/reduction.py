@@ -8,7 +8,7 @@ barely above one (Sec. 3.2.3, Fig. 7).
 from __future__ import annotations
 
 from repro.ops.base import (AccessPattern, Component, DType, Kernel, OpClass,
-                            Phase, Region)
+                            Phase, Region, lanes_any, lanes_round)
 
 
 def reduction(name: str, *, n_elements: int, dtype: DType, phase: Phase,
@@ -31,7 +31,7 @@ def reduction(name: str, *, n_elements: int, dtype: DType, phase: Phase,
     Returns:
         A :class:`Kernel` with ``op_class = REDUCTION`` and strided access.
     """
-    if n_elements <= 0:
+    if lanes_any(n_elements <= 0):
         raise ValueError("n_elements must be positive")
     eb = dtype.bytes
     return Kernel(
@@ -40,7 +40,7 @@ def reduction(name: str, *, n_elements: int, dtype: DType, phase: Phase,
         phase=phase,
         component=component,
         region=region,
-        flops=int(round(flops_per_element * n_elements)),
+        flops=lanes_round(flops_per_element * n_elements),
         bytes_read=inputs * n_elements * eb,
         bytes_written=outputs * n_elements * eb + reduced_elements * eb,
         dtype=dtype,

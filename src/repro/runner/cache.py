@@ -62,7 +62,8 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: any file under them rotates the cache key, so stale entries from an older
 #: code version can never be served.
 _CODE_FINGERPRINT_PARTS = ("config.py", "ops", "trace", "hw", "profiler",
-                           "fusion", "memoryplan", "distributed", "nmc")
+                           "fusion", "memoryplan", "distributed", "nmc",
+                           "grid")
 
 
 def default_cache_dir() -> Path:
@@ -179,6 +180,25 @@ class ResultCache:
         payload = {
             "model": model,
             "training": training,
+            "device": device_fingerprint(device),
+            "code": code_fingerprint(),
+        }
+        if pipeline:
+            payload["pipeline"] = pipeline
+        return _digest(payload)
+
+    def grid_key(self, points, device: DeviceModel, *,
+                 pipeline: str = "") -> str:
+        """Content address of a whole profiling grid on one device.
+
+        ``points`` iterates ``(model, training)`` pairs; their *order* is
+        part of the signature because the cached summary rows come back
+        positionally.  One entry per grid keeps a 1000-point sweep at one
+        disk read instead of one per point.
+        """
+        payload = {
+            "grid": [{"model": model, "training": training}
+                     for model, training in points],
             "device": device_fingerprint(device),
             "code": code_fingerprint(),
         }

@@ -24,7 +24,7 @@ from __future__ import annotations
 from repro.config import BertConfig, Precision, TrainingConfig
 from repro.obs import spans
 from repro.ops.base import (AccessPattern, Component, DType, Kernel, OpClass,
-                            Phase, Region)
+                            Phase, Region, lanes_any)
 from repro.ops.elementwise import (dropout_backward, dropout_forward,
                                    elementwise, gelu_kernels, residual_add)
 from repro.ops.gemm import (GemmShape, attention_output_gemms,
@@ -44,7 +44,10 @@ def _gemm_kernel(name: str, shape: GemmShape, *, dtype: DType, phase: Phase,
                  region: Region, component: Component = Component.TRANSFORMER,
                  layer_index: int | None = None) -> Kernel:
     """Wrap a GEMM shape into a kernel record."""
-    op_class = OpClass.BATCHED_GEMM if shape.batch > 1 else OpClass.GEMM
+    # Lane-array batch counts are uniform in batched-ness within a stamp
+    # family (repro.grid groups points on B*h > 1), so any-lane is exact.
+    op_class = (OpClass.BATCHED_GEMM if lanes_any(shape.batch > 1)
+                else OpClass.GEMM)
     return Kernel(
         name=name, op_class=op_class, phase=phase, component=component,
         region=region, flops=shape.flops,

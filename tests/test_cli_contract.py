@@ -212,6 +212,25 @@ class TestListAndExport:
         assert main(["export", "nope", str(tmp_path / "x.csv")]) == 2
 
 
+class TestGridCommand:
+    def test_grid_sweeps_and_writes_csv(self, tmp_path, capsys):
+        target = tmp_path / "grid.csv"
+        assert main(["grid", "--model", "bert-tiny",
+                     "--batch-sizes", "2,4", "--seq-lens", "128",
+                     "--precisions", "fp32,mixed",
+                     "--csv", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "4 points" in out
+        assert "Ph1-B2-FP32" in out
+        header = target.read_text().splitlines()[0]
+        assert header.startswith("label,batch_size,seq_len,tokens")
+        assert len(target.read_text().splitlines()) == 5  # header + 4 rows
+
+    def test_grid_rejects_bad_axis(self, capsys):
+        assert main(["grid", "--precisions", "fp13"]) == 2
+        assert "bad grid axis" in capsys.readouterr().err
+
+
 class TestCacheCommand:
     def test_info_and_clear(self, tmp_path, monkeypatch, capsys):
         from repro.config import BERT_TINY, TrainingConfig

@@ -1,0 +1,271 @@
+"""Grid engine: bit-exact equivalence against the run_point oracle,
+sweep failure isolation, and the CSV-export bugfixes."""
+
+import numpy as np
+import pytest
+
+from repro.config import (BERT_LARGE, BERT_TINY, BertConfig, Precision,
+                          TrainingConfig, training_point)
+from repro.experiments import sweeps
+from repro.experiments.common import run_point
+from repro.grid import (GridPoint, LaneTraining, build_grid_trace,
+                        family_key, grid_points, grid_summaries,
+                        profile_grid)
+from repro.hw.device import mi100
+from repro.profiler.breakdown import region_breakdown, summarize
+from repro.runner.cache import get_cache
+from repro.trace.passes import build_pipeline
+
+TINY_GRID = [
+    TrainingConfig(batch_size=batch, seq_len=seq_len, precision=precision)
+    for batch in (1, 2, 8)
+    for seq_len in (64, 128)
+    for precision in (Precision.FP32, Precision.MIXED)
+]
+
+
+def _bad_point() -> TrainingConfig:
+    """A point that pickles fine but fails inside the emitters."""
+    training = TrainingConfig(batch_size=2, seq_len=128)
+    object.__setattr__(training, "seq_len", -5)  # bypass frozen validation
+    return training
+
+
+# ---------------------------------------------------------------- equivalence
+def _assert_point_matches(grid_profile, index, model, training, device):
+    _, oracle = run_point(model, training, device)
+    point = grid_profile.point_profile(index)
+    assert grid_profile.point_total(index) == oracle.total_time
+    assert np.array_equal(point.times, oracle.times)
+    assert point.gemm_time() == oracle.gemm_time()
+    assert point.non_gemm_time() == oracle.non_gemm_time()
+    assert summarize(point) == summarize(oracle)
+    ours = region_breakdown(point)
+    theirs = region_breakdown(oracle)
+    assert ours.keys() == theirs.keys()
+    for region in ours:
+        assert ours[region].fraction == theirs[region].fraction
+
+
+def test_tiny_grid_matches_run_point_loop_bit_exactly():
+    device = mi100()
+    profile = profile_grid(grid_points(BERT_TINY, TINY_GRID), device)
+    for index, training in enumerate(TINY_GRID):
+        _assert_point_matches(profile, index, BERT_TINY, training, device)
+
+
+def test_bert_large_grid_matches_run_point_loop_bit_exactly():
+    device = mi100()
+    points = [training_point(1, 4, Precision.FP32),
+              training_point(1, 32, Precision.FP32),
+              training_point(2, 4, Precision.MIXED)]
+    profile = profile_grid(grid_points(BERT_LARGE, points), device)
+    for index, training in enumerate(points):
+        _assert_point_matches(profile, index, BERT_LARGE, training, device)
+
+
+def test_grid_applies_pass_pipeline_per_point():
+    device = mi100()
+    passes = build_pipeline("fuse_elementwise,fused_attention")
+    profile = profile_grid(grid_points(BERT_TINY, TINY_GRID), device,
+                           passes=passes)
+    for index, training in enumerate(TINY_GRID):
+        _, oracle = run_point(BERT_TINY, training, device, passes=passes)
+        assert profile.point_total(index) == oracle.total_time
+        assert np.array_equal(profile.point_profile(index).times,
+                              oracle.times)
+
+
+def test_grid_applies_activation_checkpointing_per_point():
+    device = mi100()
+    points = [TrainingConfig(batch_size=batch, seq_len=128,
+                             activation_checkpointing=True)
+              for batch in (1, 2, 4)]
+    profile = profile_grid(grid_points(BERT_TINY, points), device)
+    for index, training in enumerate(points):
+        _, oracle = run_point(BERT_TINY, training, device)
+        assert profile.point_total(index) == oracle.total_time
+
+
+def test_multi_model_grid_keeps_input_order():
+    device = mi100()
+    small = BertConfig(num_layers=1, d_model=64, num_heads=4, d_ff=256,
+                       vocab_size=512, max_position=128, name="unit-1l")
+    mixed = [(BERT_TINY, TINY_GRID[0]), (small, TINY_GRID[1]),
+             (BERT_TINY, TINY_GRID[2]), (small, TINY_GRID[0])]
+    profile = profile_grid(mixed, device)
+    for index, (model, training) in enumerate(mixed):
+        _, oracle = run_point(model, training, device)
+        assert profile.point_total(index) == oracle.total_time
+
+
+def test_grid_trace_row_ranges_partition_the_table():
+    grid = build_grid_trace(grid_points(BERT_TINY, TINY_GRID))
+    order = np.argsort(grid.starts)
+    covered = 0
+    for index in order:
+        start, stop = grid.point_rows(int(index))
+        assert start == covered
+        covered = stop
+        assert np.all(grid.point_index[start:stop] == index)
+    assert covered == len(grid.table)
+
+
+def test_lane_training_matches_scalar_derived_sizes():
+    lanes = LaneTraining(TINY_GRID)
+    for index, training in enumerate(TINY_GRID):
+        assert lanes.tokens_per_iteration[index] == \
+            training.tokens_per_iteration
+        assert lanes.masked_positions[index] == training.masked_positions
+
+
+def test_family_key_groups_only_compatible_points():
+    base = TrainingConfig(batch_size=4, seq_len=128)
+    same = TrainingConfig(batch_size=32, seq_len=512)
+    assert family_key(BERT_TINY, base) == family_key(BERT_TINY, same)
+    different = (
+        TrainingConfig(batch_size=4, seq_len=128, precision=Precision.MIXED),
+        TrainingConfig(batch_size=4, seq_len=128, optimizer="adam"),
+        TrainingConfig(batch_size=4, seq_len=128, fuse_optimizer=False),
+        TrainingConfig(batch_size=4, seq_len=128,
+                       activation_checkpointing=True),
+    )
+    for training in different:
+        assert family_key(BERT_TINY, training) != family_key(BERT_TINY, base)
+    assert family_key(BERT_TINY, base) != family_key(BERT_LARGE, base)
+
+
+def test_empty_grid_is_rejected():
+    with pytest.raises(ValueError, match="at least one point"):
+        build_grid_trace([])
+
+
+# -------------------------------------------------------------------- caching
+def test_grid_summaries_cached_as_one_entry_per_grid():
+    device = mi100()
+    points = grid_points(BERT_TINY, TINY_GRID[:4])
+    cache = get_cache()
+    key = cache.grid_key([(p.model, p.training) for p in points], device)
+    before = cache.stats.hits
+    first = grid_summaries(points, device)
+    again = grid_summaries(points, device)
+    assert again == first
+    assert cache.stats.hits > before
+    assert cache.get_payload(key) is not None
+    # Grid signature is order-sensitive: rows come back positionally.
+    reordered = cache.grid_key(
+        [(p.model, p.training) for p in reversed(points)], device)
+    assert reordered != key
+
+
+# ---------------------------------------------------------- sweep integration
+def test_grid_sweep_rows_match_run_point_summaries():
+    device = mi100()
+    rows = sweeps.grid_sweep(BERT_TINY, TINY_GRID[:4], device)
+    for training, row in zip(TINY_GRID[:4], rows):
+        _, oracle = run_point(BERT_TINY, training, device)
+        assert row["label"] == training.label
+        assert row["tokens"] == training.tokens_per_iteration
+        for column, value in summarize(oracle).items():
+            assert row[column] == value
+
+
+def test_grid_sweep_isolates_failing_point_in_process():
+    points = [TINY_GRID[0], _bad_point(), TINY_GRID[1]]
+    rows = sweeps.grid_sweep(BERT_TINY, points, mi100())
+    assert len(rows) == 3
+    assert "error" in rows[1]
+    assert "ValueError" in rows[1]["error"]
+    assert rows[1]["batch_size"] == 2
+    for survivor in (rows[0], rows[2]):
+        assert "error" not in survivor
+        assert survivor["total_time_s"] > 0
+
+
+def test_grid_sweep_isolates_failing_point_across_workers():
+    points = [TINY_GRID[0], _bad_point(), TINY_GRID[1], TINY_GRID[2]]
+    rows = sweeps.grid_sweep(BERT_TINY, points, jobs=2)
+    assert len(rows) == 4
+    assert "error" in rows[1]
+    assert "ValueError" in rows[1]["error"]
+    for index in (0, 2, 3):
+        assert "error" not in rows[index]
+        assert rows[index]["label"] == points[index].label
+
+
+def test_grid_sweep_metrics_skip_error_rows():
+    points = [TINY_GRID[0], _bad_point()]
+    rows = sweeps.grid_sweep(BERT_TINY, points, mi100(),
+                             metrics=lambda row: {"t": row["total_time_s"]})
+    assert set(rows[0]) == {"t"}
+    assert "error" in rows[1]  # untouched by the metrics projection
+
+
+# ------------------------------------------------------------- CSV bug fixes
+def test_flatten_expands_tuples_into_indexed_columns():
+    flat = sweeps._flatten({"shape": (3, 5), "name": "x",
+                            "nested": [{"a": 1}, {"a": 2}]})
+    assert flat == {"shape.0": 3, "shape.1": 5, "name": "x",
+                    "nested.0.a": 1, "nested.1.a": 2}
+
+
+def test_rows_to_csv_renders_sequence_fields_as_columns():
+    text = sweeps.rows_to_csv([{"dims": (2, 7), "label": "p"}])
+    header, row = text.strip().splitlines()
+    assert header.split(",") == ["dims.0", "dims.1", "label"]
+    assert row.split(",") == ["2", "7", "p"]
+
+
+def test_export_csv_failure_leaves_existing_file_intact(tmp_path,
+                                                        monkeypatch):
+    from repro.experiments.registry import REGISTRY
+
+    class _EmptyExperiment:
+        def run(self):
+            return []
+
+    monkeypatch.setitem(REGISTRY, "empty-rows", _EmptyExperiment())
+    target = tmp_path / "out.csv"
+    target.write_text("precious,previous\n1,2\n")
+    with pytest.raises(ValueError, match="no rows"):
+        sweeps.export_experiment_csv("empty-rows", str(target))
+    assert target.read_text() == "precious,previous\n1,2\n"
+
+
+def test_export_csv_writes_rendered_rows(tmp_path, monkeypatch):
+    from repro.experiments.registry import REGISTRY
+
+    class _RowsExperiment:
+        def run(self):
+            return [{"label": "a", "dims": (1, 2)}]
+
+    monkeypatch.setitem(REGISTRY, "two-rows", _RowsExperiment())
+    target = tmp_path / "out.csv"
+    sweeps.export_experiment_csv("two-rows", str(target))
+    assert target.read_text().splitlines() == ["label,dims.0,dims.1",
+                                               "a,1,2"]
+
+
+# -------------------------------------------------------------------- obs
+def test_profile_grid_emits_spans_and_counters():
+    from repro.obs import metrics, spans
+
+    grids = metrics.counter("grid_engine.grids", "")
+    points_counter = metrics.counter("grid_engine.points", "")
+    grids_before = grids.value()
+    points_before = points_counter.value()
+    with spans.get_tracer().capture() as scope:
+        profile_grid(grid_points(BERT_TINY, TINY_GRID[:3]), mi100())
+    names = [span.name for span in scope.spans]
+    assert "grid.build" in names
+    assert "grid.stamp" in names
+    assert "grid.profile" in names
+    assert grids.value() == grids_before + 1
+    assert points_counter.value() == points_before + 3
+
+
+def test_grid_point_trace_is_regular_trace():
+    grid = build_grid_trace([GridPoint(BERT_TINY, TINY_GRID[0])])
+    trace = grid.point_trace(0)
+    oracle, _ = run_point(BERT_TINY, TINY_GRID[0], mi100())
+    assert len(trace) == len(oracle)
