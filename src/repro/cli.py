@@ -8,6 +8,7 @@ Usage::
     python -m repro report
     python -m repro spans
     python -m repro stats
+    python -m repro serve --port 8321
     python -m repro export fig8 /tmp/fig8.csv
     python -m repro export --format perfetto fig3.ph1-b32-fp32 /tmp/t.json
     python -m repro export --format perfetto --passes fuse_elementwise \
@@ -79,6 +80,22 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="comma-separated from fp32,mixed (default fp32)")
     grid.add_argument("--csv", default=None, metavar="PATH",
                       help="also write the rows as CSV")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the async profiling server (HTTP JSON over the engine)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port (default 8321; 0 picks a free port)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="worker threads for engine computations "
+                            "(default 4)")
+    serve.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                       help="max queued+running computations before "
+                            "shedding with 503 (default 32)")
+    serve.add_argument("--hot-cache-mb", type=int, default=64, metavar="MB",
+                       help="in-process response cache budget (default 64)")
 
     commands.add_parser(
         "passes", help="list the registered trace-rewrite passes")
@@ -329,6 +346,20 @@ def _cmd_grid(model_name: str, batch_sizes: str, seq_lens: str,
     return 1 if failures else 0
 
 
+def _cmd_serve(host: str, port: int, *, workers: int, queue_limit: int,
+               hot_cache_mb: int) -> int:
+    from repro.serve import App, HotCache, run_server
+
+    if workers <= 0 or queue_limit <= 0 or hot_cache_mb <= 0:
+        print("--workers, --queue-limit and --hot-cache-mb must be positive",
+              file=sys.stderr)
+        return 2
+    app = App(workers=workers, queue_limit=queue_limit,
+              hot_cache=HotCache(hot_cache_mb * 1024 * 1024))
+    run_server(app, host=host, port=port)
+    return 0
+
+
 def _cmd_passes() -> int:
     from repro.trace.passes import available_passes
 
@@ -409,6 +440,10 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "grid":
         return _cmd_grid(args.model, args.batch_sizes, args.seq_lens,
                          args.precisions, args.csv)
+    if args.command == "serve":
+        return _cmd_serve(args.host, args.port, workers=args.workers,
+                          queue_limit=args.queue_limit,
+                          hot_cache_mb=args.hot_cache_mb)
     if args.command == "passes":
         return _cmd_passes()
     if args.command == "info":

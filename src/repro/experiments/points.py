@@ -1,11 +1,17 @@
-"""Named operating points addressable from the CLI.
+"""Named operating points addressable from the CLI and the server.
 
-``repro export --format perfetto <point>`` needs a stable vocabulary of
-operating-point ids that maps onto the paper's configurations.  This
-module derives it from the same presets the figures use:
+``repro export --format perfetto <point>`` and the profiling server's
+``/profile/<point>`` / ``/perfetto/<point>`` endpoints need a stable
+vocabulary of operating-point ids that maps onto the paper's
+configurations.  This module derives it from the same presets the
+figures use:
 
 * ``fig3.ph1-b32-fp32`` ... — the five Fig. 3 points on BERT Large
   (ids are the paper labels, lowercased);
+* ``fig8.ph1-b4-fp32`` ... — the Fig. 8 input-size sweep (mini-batch
+  and sequence length) on BERT Large;
+* ``fig9.c1.ph1-b8-fp32`` ... — the Fig. 9 layer-width sweep (C1 / C2 /
+  C3); the extra segment names the swept architecture;
 * ``tiny.ph1-b2-fp32`` — BERT Tiny at B=2, a two-layer point small
   enough for golden-file tests and CI smoke runs.
 
@@ -15,19 +21,49 @@ Each id resolves to a ``(model, training)`` pair; callers profile it via
 
 from __future__ import annotations
 
-from repro.config import (BERT_LARGE, BERT_TINY, FIG3_POINTS, BertConfig,
-                          Precision, TrainingConfig, training_point)
+from repro.config import (BERT_LARGE, BERT_TINY, C1, C2, C3, FIG3_POINTS,
+                          BertConfig, Precision, TrainingConfig,
+                          training_point)
 
 
-def point_id(figure: str, training: TrainingConfig) -> str:
-    """The CLI id of one operating point, e.g. ``fig3.ph1-b32-fp32``."""
-    return f"{figure}.{training.label.lower()}"
+def point_id(figure: str, training: TrainingConfig, *,
+             model: BertConfig | None = None) -> str:
+    """The CLI id of one operating point, e.g. ``fig3.ph1-b32-fp32``.
+
+    Figures that sweep the *architecture* (Fig. 9) pass ``model`` so the
+    swept config joins the id (``fig9.c1.ph1-b8-fp32``); figures that
+    sweep only the training point leave it out.
+    """
+    label = training.label.lower()
+    if model is not None:
+        return f"{figure}.{model.name.lower()}.{label}"
+    return f"{figure}.{label}"
+
+
+#: Fig. 8 input-size sweep (matches ``experiments.fig8.DEFAULT_POINTS``;
+#: duplicated literally so the registry does not import the figure module).
+FIG8_POINTS = (
+    training_point(1, 4, Precision.FP32),
+    training_point(1, 16, Precision.FP32),
+    training_point(1, 32, Precision.FP32),
+    training_point(2, 4, Precision.FP32),
+    training_point(2, 16, Precision.FP32),
+)
+
+#: Fig. 9 width sweep: C1/C2/C3 at the figure's default training point.
+FIG9_CONFIGS = (C1, C2, C3)
+FIG9_TRAINING = training_point(1, 8, Precision.FP32)
 
 
 def _build_registry() -> dict[str, tuple[BertConfig, TrainingConfig]]:
     registry: dict[str, tuple[BertConfig, TrainingConfig]] = {}
     for training in FIG3_POINTS:
         registry[point_id("fig3", training)] = (BERT_LARGE, training)
+    for training in FIG8_POINTS:
+        registry[point_id("fig8", training)] = (BERT_LARGE, training)
+    for config in FIG9_CONFIGS:
+        registry[point_id("fig9", FIG9_TRAINING, model=config)] = \
+            (config, FIG9_TRAINING)
     tiny = training_point(1, 2, Precision.FP32)
     registry[point_id("tiny", tiny)] = (BERT_TINY, tiny)
     return registry

@@ -16,7 +16,8 @@ Model (a deliberately small subset of the Prometheus vocabulary):
 * :class:`Counter` — monotonically increasing totals (``inc``);
 * :class:`Gauge` — last-written values (``set``);
 * :class:`Histogram` — ``observe``\\ d distributions summarized as
-  count/sum/min/max.
+  count/sum/min/max plus ``p50``/``p90``/``p99`` quantiles estimated
+  from a bounded reservoir sample.
 
 Each metric holds one value *per label set*: ``counter.inc(result="hit")``
 and ``counter.inc(result="miss")`` are independent series of the same
@@ -29,6 +30,7 @@ process-global and monotonic.
 
 from __future__ import annotations
 
+import random
 import threading
 
 #: Snapshot key for the unlabeled series of a metric.
@@ -95,8 +97,38 @@ class Gauge(_Metric):
             return self._series.get(_label_key(labels), 0)
 
 
+#: Per-series reservoir size: percentiles are exact up to this many
+#: observations and an unbiased random sample (Vitter's Algorithm R)
+#: beyond it.  512 floats per series keeps snapshots small.
+RESERVOIR_SIZE = 512
+
+#: The quantiles every histogram summary reports.
+QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+#: Snapshot keys carried by a histogram summary, in render order.
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max") + \
+    tuple(name for name, _ in QUANTILES)
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sample."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
 class Histogram(_Metric):
-    """An observed distribution, summarized as count/sum/min/max."""
+    """An observed distribution: count/sum/min/max plus quantiles.
+
+    Quantiles come from a bounded reservoir per label set
+    (:data:`RESERVOIR_SIZE` values, reservoir-sampled once full), so a
+    series never grows with traffic yet ``p50``/``p90``/``p99`` stay
+    exact for small series and statistically sound for large ones.
+    """
 
     kind = "histogram"
 
@@ -106,21 +138,33 @@ class Histogram(_Metric):
             stats = self._series.get(key)
             if stats is None:
                 self._series[key] = {"count": 1, "sum": value,
-                                     "min": value, "max": value}
+                                     "min": value, "max": value,
+                                     "sample": [value]}
             else:
                 stats["count"] += 1
                 stats["sum"] += value
                 stats["min"] = min(stats["min"], value)
                 stats["max"] = max(stats["max"], value)
+                sample = stats["sample"]
+                if len(sample) < RESERVOIR_SIZE:
+                    sample.append(value)
+                else:  # Algorithm R: keep each value with p = size/count
+                    slot = random.randrange(stats["count"])
+                    if slot < RESERVOIR_SIZE:
+                        sample[slot] = value
 
     def stats(self, **labels) -> dict[str, float] | None:
         with self._lock:
             stats = self._series.get(_label_key(labels))
-            return dict(stats) if stats is not None else None
+            return self._export(stats) if stats is not None else None
 
     @staticmethod
     def _export(value):
-        return dict(value)
+        out = {k: v for k, v in value.items() if k != "sample"}
+        ordered = sorted(value["sample"])
+        for name, q in QUANTILES:
+            out[name] = _quantile(ordered, q)
+        return out
 
 
 class MetricsRegistry:
@@ -173,10 +217,11 @@ def diff_snapshots(before: dict[str, dict],
                    after: dict[str, dict]) -> dict[str, dict]:
     """What happened between two snapshots of the same registry.
 
-    Counters and histogram count/sum diff; histogram min/max and gauges
-    take the ``after`` value.  Metrics/series absent from ``before`` are
-    treated as zero; series whose delta is zero are dropped, so an
-    experiment's dict only names what it actually touched.
+    Counters and histogram count/sum diff; histogram min/max/quantiles
+    and gauges take the ``after`` value (quantiles describe the whole
+    series — they cannot be subtracted).  Metrics/series absent from
+    ``before`` are treated as zero; series whose delta is zero are
+    dropped, so an experiment's dict only names what it actually touched.
     """
     out: dict[str, dict] = {}
     for name, entry in after.items():
@@ -195,10 +240,10 @@ def diff_snapshots(before: dict[str, dict],
             else:  # histogram
                 old = old or {"count": 0, "sum": 0.0}
                 if value["count"] - old["count"]:
-                    series[key] = {
-                        "count": value["count"] - old["count"],
-                        "sum": value["sum"] - old["sum"],
-                        "min": value["min"], "max": value["max"]}
+                    delta = dict(value)
+                    delta["count"] = value["count"] - old["count"]
+                    delta["sum"] = value["sum"] - old["sum"]
+                    series[key] = delta
         if series:
             out[name] = {"kind": kind, "series": series}
     return out
@@ -208,7 +253,9 @@ def merge_snapshots(snapshots: "list[dict[str, dict]]") -> dict[str, dict]:
     """Merge per-experiment metric deltas into one run-level snapshot.
 
     Counters and histogram count/sum add across snapshots; gauges keep the
-    last write; histogram min/max widen.
+    last write; histogram min/max widen.  Histogram quantiles cannot be
+    merged exactly, so the merged series keeps the quantiles of its
+    largest contributor (count-weighted approximation).
     """
     merged: dict[str, dict] = {}
     for snapshot in snapshots:
@@ -224,6 +271,10 @@ def merge_snapshots(snapshots: "list[dict[str, dict]]") -> dict[str, dict]:
                 elif old is None:
                     into["series"][key] = dict(value)
                 else:
+                    if value["count"] > old["count"]:
+                        for name, _ in QUANTILES:
+                            if name in value:
+                                old[name] = value[name]
                     old["count"] += value["count"]
                     old["sum"] += value["sum"]
                     old["min"] = min(old["min"], value["min"])

@@ -20,9 +20,20 @@ lazy — stored under a key that is a SHA-256 over
   and profiles),
 
 so a change to any of them simply misses instead of serving stale data.
-Writes are atomic (temp file + ``os.replace``) so concurrent worker
-processes never observe torn entries, and a corrupted entry is deleted
-and recomputed rather than crashing the run.
+
+Concurrency invariant (relied on by the profiling server's worker pool
+as well as ``repro run --jobs N``): writes are atomic — each
+``put_payload`` pickles into a private temp file in the destination
+directory and publishes it with ``os.replace``, which POSIX guarantees
+atomic within a filesystem — so readers of the same key observe either
+the old complete entry, the new complete entry, or a miss; never a torn
+file.  Two racing writers of one key both write valid entries and the
+last ``replace`` wins, which is harmless because entries are
+content-addressed: every writer of a key serializes the *same* value.
+A corrupted entry (torn by a crash, not by a race) is deleted and
+recomputed rather than crashing the run.  The per-instance
+:class:`CacheStats` counters are guarded by a lock so concurrent
+threads cannot lose increments.
 
 The cache directory defaults to ``~/.cache/repro-bert`` and can be moved
 with the ``REPRO_CACHE_DIR`` environment variable or
@@ -38,6 +49,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
@@ -166,6 +178,11 @@ class ResultCache:
 
     root: Path = field(default_factory=default_cache_dir)
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Guards ``stats``: entry I/O itself needs no lock (atomic rename —
+    #: see the module docstring), but ``int +=`` is not atomic across
+    #: threads and the server's worker pool shares one instance.
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def key(self, model: BertConfig, training: TrainingConfig,
             device: DeviceModel, *, pipeline: str = "") -> str:
@@ -225,15 +242,17 @@ class ResultCache:
                 with open(path, "rb") as handle:
                     payload = pickle.load(handle)
             except FileNotFoundError:
-                self.stats.misses += 1
+                with self._lock:
+                    self.stats.misses += 1
                 _CACHE_REQUESTS.inc(result="miss")
                 spans.annotate(result="miss")
                 return None
             except Exception:
                 # Torn write, truncation, or a pickle from an incompatible
                 # version: drop the entry and recompute.
-                self.stats.evictions += 1
-                self.stats.misses += 1
+                with self._lock:
+                    self.stats.evictions += 1
+                    self.stats.misses += 1
                 _CACHE_REQUESTS.inc(result="miss")
                 _CACHE_REQUESTS.inc(result="eviction")
                 spans.annotate(result="eviction")
@@ -242,7 +261,8 @@ class ResultCache:
                 except OSError:
                     pass
                 return None
-            self.stats.hits += 1
+            with self._lock:
+                self.stats.hits += 1
             _CACHE_REQUESTS.inc(result="hit")
             spans.annotate(result="hit")
             return payload

@@ -159,6 +159,11 @@ def render_stats(manifest: dict) -> str:
                 mean = value["sum"] / value["count"] if value["count"] else 0
                 shown = (f"count={value['count']} mean={mean:.4g} "
                          f"min={value['min']:.4g} max={value['max']:.4g}")
+                quantiles = " ".join(
+                    f"{name}={value[name]:.4g}"
+                    for name in ("p50", "p90", "p99") if name in value)
+                if quantiles:
+                    shown += f" {quantiles}"
             else:
                 shown = value
             rows.append((name, entry.get("kind", "?"), label_key or "-",

@@ -1,0 +1,28 @@
+"""Profiling-as-a-service: a stdlib-only async HTTP server over the engine.
+
+The serving stack, innermost out:
+
+* :mod:`repro.serve.service` — :class:`ProfilingService`, the sync
+  engine facade with canonical (byte-stable) response payloads;
+* :mod:`repro.serve.hot_cache` — :class:`HotCache`, a bytes-bounded LRU
+  of rendered responses above the disk cache;
+* :mod:`repro.serve.coalesce` — :class:`Coalescer`, single-flight
+  sharing of concurrent identical computations;
+* :mod:`repro.serve.app` — :class:`App`, routing + worker pool +
+  load shedding + per-request telemetry;
+* :mod:`repro.serve.http` — the asyncio HTTP/1.1 transport behind
+  ``repro serve``.
+
+See ``docs/serving.md`` for endpoint contracts and semantics.
+"""
+
+from repro.serve.app import App, Response
+from repro.serve.coalesce import Coalescer
+from repro.serve.hot_cache import HotCache
+from repro.serve.http import create_server, run_server, server_address
+from repro.serve.service import ProfilingService, render_json
+
+__all__ = [
+    "App", "Coalescer", "HotCache", "ProfilingService", "Response",
+    "create_server", "render_json", "run_server", "server_address",
+]

@@ -1,0 +1,236 @@
+"""The async application: routing, worker pool, backpressure, telemetry.
+
+Request lifecycle for the cacheable routes (``/profile``, ``/perfetto``,
+``/grid``):
+
+1. resolve + validate on the event loop (unknown point -> 404, bad grid
+   spec -> 400; nothing invalid ever reaches a worker);
+2. **hot cache** — a hit returns pre-rendered bytes immediately;
+3. **coalesce** — if an identical computation is already in flight the
+   request attaches to it (``serve.coalesced``) and consumes no worker;
+4. **shed** — a request that would *start* a computation while
+   ``queue_limit`` computations are already pending is refused with
+   ``503`` + ``Retry-After`` (``serve.shed``).  Shedding leaders instead
+   of followers keeps an identical-query storm cheap no matter how wide;
+5. **compute** — the leader runs the service's sync compute on the
+   bounded ``ThreadPoolExecutor`` (``serve.computations``), renders
+   once, and populates the hot cache.
+
+Every request increments ``serve.requests{route=,status=}`` and observes
+``serve.request_seconds{route=}`` (whose ``p50``/``p99`` feed ``/stats``
+and the load harness); when span tracing is enabled each request also
+opens a ``serve.request`` span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.obs import metrics, spans
+from repro.serve.coalesce import Coalescer
+from repro.serve.hot_cache import HotCache
+from repro.serve.service import ProfilingService, render_json
+
+_REQUESTS = metrics.counter(
+    "serve.requests", "HTTP requests by route and status")
+_COMPUTATIONS = metrics.counter(
+    "serve.computations", "engine computations dispatched to the pool")
+_SHED = metrics.counter(
+    "serve.shed", "requests refused with 503 under backpressure")
+_LATENCY = metrics.histogram(
+    "serve.request_seconds", "request wall-clock by route")
+_INFLIGHT = metrics.gauge(
+    "serve.inflight", "computations currently pending or running")
+
+#: Default worker threads: engine computes release the GIL inside NumPy
+#: for long stretches, but they are still CPU-heavy — a small pool.
+DEFAULT_WORKERS = 4
+
+#: Default queue-depth limit: leaders pending + running before shedding.
+DEFAULT_QUEUE_LIMIT = 32
+
+#: Seconds suggested to a shed client.
+RETRY_AFTER_S = 1
+
+
+@dataclass
+class Response:
+    """One HTTP response: status, rendered body, extra headers."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict = field(default_factory=dict)
+
+
+def _json_response(status: int, payload: dict, **headers) -> Response:
+    return Response(status, render_json(payload), headers=headers)
+
+
+def _error(status: int, message: str, **extra) -> Response:
+    return _json_response(status, {"error": message, **extra})
+
+
+class App:
+    """Routes requests onto one :class:`ProfilingService`.
+
+    Transport-agnostic: :meth:`handle` maps ``(method, path, body)`` to
+    a :class:`Response`, so tests and the load harness can drive it
+    in-process while :mod:`repro.serve.http` exposes it over sockets.
+    """
+
+    def __init__(self, service: ProfilingService | None = None, *,
+                 workers: int = DEFAULT_WORKERS,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 hot_cache: HotCache | None = None):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        self.service = service if service is not None else ProfilingService()
+        self.hot = hot_cache if hot_cache is not None else HotCache()
+        self.coalescer = Coalescer()
+        self.queue_limit = queue_limit
+        self.workers = workers
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+        self.inflight = 0
+        self.started = time.monotonic()
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+    # ---------------------------------------------------------------- handle
+    async def handle(self, method: str, path: str,
+                     body: bytes = b"") -> Response:
+        """Serve one request; never raises (errors become 4xx/5xx JSON)."""
+        start = time.perf_counter()
+        route = "unknown"
+        with spans.span("serve.request", category="serve", method=method,
+                        path=path):
+            try:
+                route, response = await self._route(method, path, body)
+            except Exception as error:  # the server must outlive any bug
+                response = _error(500, f"{type(error).__name__}: {error}")
+            spans.annotate(route=route, status=response.status)
+        _REQUESTS.inc(route=route, status=response.status)
+        _LATENCY.observe(time.perf_counter() - start, route=route)
+        return response
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> tuple[str, Response]:
+        if path == "/healthz":
+            return "healthz", self._healthz(method)
+        if path == "/stats":
+            return "stats", self._stats(method)
+        if path == "/points":
+            if method != "GET":
+                return "points", _error(405, "use GET")
+            return "points", _json_response(
+                200, self.service.points_payload())
+        if path.startswith("/profile/"):
+            return "profile", await self._point_route(
+                method, "profile", path[len("/profile/"):],
+                self.service.profile_payload)
+        if path.startswith("/perfetto/"):
+            return "perfetto", await self._point_route(
+                method, "perfetto", path[len("/perfetto/"):],
+                self.service.perfetto_payload)
+        if path == "/grid":
+            return "grid", await self._grid(method, body)
+        return "unknown", _error(404, f"no route for {path!r}", routes=[
+            "/healthz", "/stats", "/points", "/profile/<point>",
+            "/perfetto/<point>", "/grid"])
+
+    # ---------------------------------------------------------------- routes
+    def _healthz(self, method: str) -> Response:
+        if method != "GET":
+            return _error(405, "use GET")
+        return _json_response(200, {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self.started, 3),
+        })
+
+    def _stats(self, method: str) -> Response:
+        if method != "GET":
+            return _error(405, "use GET")
+        snapshot = metrics.get_registry().snapshot()
+        return _json_response(200, {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "inflight": self.inflight,
+            "hot_cache": self.hot.snapshot(),
+            "metrics": snapshot,
+            "hit_rates": metrics.hit_rates(snapshot),
+        })
+
+    async def _point_route(self, method: str, route: str, point: str,
+                           payload_of) -> Response:
+        if method != "GET":
+            return _error(405, "use GET")
+        try:
+            key = self.service.point_key(route, point)
+        except KeyError:
+            from repro.experiments.points import POINT_REGISTRY
+            return _error(404, f"unknown operating point {point!r}",
+                          valid=sorted(POINT_REGISTRY))
+        return await self._cached(route, key, lambda: payload_of(point))
+
+    async def _grid(self, method: str, body: bytes) -> Response:
+        if method != "POST":
+            return _error(405, "POST a grid spec")
+        import json as json_mod
+        try:
+            spec = json_mod.loads(body or b"{}")
+        except json_mod.JSONDecodeError as error:
+            return _error(400, f"request body is not JSON: {error}")
+        try:
+            model, trainings = self.service.parse_grid_spec(spec)
+        except ValueError as error:
+            return _error(400, str(error))
+        key = self.service.grid_cache_key(model, trainings)
+        return await self._cached(
+            "grid", key, lambda: self.service.grid_payload(model, trainings))
+
+    # ----------------------------------------------------- cache + coalesce
+    async def _cached(self, route: str, key: str, compute) -> Response:
+        """Hot cache -> coalesce -> shed -> worker pool, in that order."""
+        cached = self.hot.get(key)
+        if cached is not None:
+            return Response(200, cached)
+
+        # No awaits between the leadership check and Coalescer.run:
+        # the decision is atomic on the event loop.
+        if self.coalescer.leader(key):
+            if self.inflight >= self.queue_limit:
+                _SHED.inc(route=route)
+                shed = _error(503, "profiling queue is full, retry shortly",
+                              retry_after_s=RETRY_AFTER_S)
+                shed.headers["Retry-After"] = str(RETRY_AFTER_S)
+                return shed
+            self.inflight += 1
+            _INFLIGHT.set(self.inflight)
+
+        loop = asyncio.get_running_loop()
+
+        async def leader_compute() -> bytes:
+            try:
+                _COMPUTATIONS.inc(route=route)
+                rendered = await loop.run_in_executor(
+                    self.executor, lambda: render_json(compute()))
+            finally:
+                self.inflight -= 1
+                _INFLIGHT.set(self.inflight)
+            self.hot.put(key, rendered)
+            return rendered
+
+        try:
+            body = await self.coalescer.run(key, leader_compute, route=route)
+        except Exception as error:
+            return _error(500, f"{type(error).__name__}: {error}")
+        return Response(200, body)

@@ -1,0 +1,65 @@
+"""Request coalescing: N concurrent identical queries, one computation.
+
+The serving analogue of the engine's memoization: when a storm of
+clients asks for the same operating point before the first answer
+lands, only the *leader* request dispatches the computation; every
+*follower* awaits the leader's task and shares its result.  Keys are
+the same content addresses the runner cache computes, so "identical"
+means identical in the exact sense the engine already uses (model +
+training + device fingerprint + code version).
+
+This is single-flight in the golang ``singleflight`` sense, but it
+needs no locks: all bookkeeping happens on the event loop, and the
+in-flight table is keyed by ``key -> asyncio.Task``.  The leader's task
+is shielded from follower cancellation — a client hanging up must not
+cancel a computation 99 other clients are waiting on.
+
+Followers are counted per key (``serve.coalesced``); the caller decides
+whether a computation may even start (load shedding happens *before*
+a leader is admitted, never to followers — waiting on an in-flight
+result consumes no worker).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.obs import metrics
+
+_COALESCED = metrics.counter(
+    "serve.coalesced", "requests that shared an in-flight computation")
+
+
+class Coalescer:
+    """Single-flight table for one event loop."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Task] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def leader(self, key: str) -> bool:
+        """Would a request for ``key`` start a new computation?"""
+        return key not in self._inflight
+
+    async def run(self, key: str, compute: Callable[[], Awaitable],
+                  **labels):
+        """Result of ``compute()``, shared across concurrent callers.
+
+        The first caller for ``key`` becomes the leader: it creates the
+        task and removes it from the table once finished (success *and*
+        failure — errors propagate to every waiter but are never cached
+        here).  Later callers attach to the existing task and increment
+        ``serve.coalesced``.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            task = asyncio.ensure_future(compute())
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda _t, _key=key: self._inflight.pop(_key, None))
+        else:
+            _COALESCED.inc(**labels)
+        return await asyncio.shield(task)

@@ -1,0 +1,205 @@
+"""The profiling service: engine facade + canonical response payloads.
+
+One :class:`ProfilingService` wraps the whole existing pipeline — the
+operating-point registry, :func:`~repro.experiments.common.run_point`,
+the batched grid engine and the Chrome-trace exporter — behind a handful
+of *synchronous* compute methods that the async server dispatches onto
+its worker pool.  Two properties matter:
+
+* **Content-addressed keys.**  Every cacheable response is keyed by the
+  same :class:`~repro.runner.cache.ResultCache` addresses the runner
+  computes (model + training + device fingerprint + code version), so
+  the hot cache and the request coalescer agree with the disk cache on
+  what "identical query" means, and a code change rotates every layer
+  at once.
+
+* **Canonical rendering.**  Responses are rendered by
+  :func:`render_json` exactly once and cached as bytes; the Perfetto
+  endpoint reuses the ``indent=1`` formatting of
+  :func:`repro.obs.timeline_export.write_chrome_trace`, so a served
+  trace is byte-identical to the file ``repro export --format perfetto``
+  writes (the golden equivalence test pins this).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.config import (BERT_BASE, BERT_LARGE, BERT_TINY, C1, C2, C3,
+                          BertConfig, Precision, TrainingConfig)
+from repro.experiments.common import default_device, run_point
+from repro.experiments.points import POINT_REGISTRY
+from repro.hw.device import DeviceModel
+from repro.profiler.breakdown import (component_breakdown, region_breakdown,
+                                      summarize, transformer_breakdown)
+from repro.runner.cache import get_cache
+
+#: Architectures addressable in a ``POST /grid`` spec (the CLI's set).
+GRID_MODELS: dict[str, BertConfig] = {
+    "bert-tiny": BERT_TINY, "bert-base": BERT_BASE,
+    "bert-large": BERT_LARGE, "c1": C1, "c2": C2, "c3": C3,
+}
+
+_PRECISIONS = {"fp32": Precision.FP32, "mixed": Precision.MIXED,
+               "fp16": Precision.MIXED}
+
+#: Upper bound on points per ``POST /grid`` — a single request must not
+#: stamp an unbounded KernelTable.
+MAX_GRID_POINTS = 4096
+
+
+def render_json(payload: dict) -> bytes:
+    """Canonical response rendering, shared with the golden tests.
+
+    ``indent=1`` plus a trailing newline is exactly what
+    :func:`~repro.obs.timeline_export.write_chrome_trace` produces, so
+    rendering *any* payload this way keeps the Perfetto endpoint
+    byte-identical to the CLI export file.
+    """
+    return (json.dumps(payload, indent=1) + "\n").encode()
+
+
+def _entries_payload(entries) -> list[dict]:
+    return [{"label": entry.label, "time_s": entry.time_s,
+             "fraction": entry.fraction} for entry in entries]
+
+
+class ProfilingService:
+    """Synchronous compute core served by :class:`~repro.serve.app.App`.
+
+    Stateless apart from the frozen device model: all memoization lives
+    in the layers around it (hot cache, request coalescer, disk cache,
+    ``run_point``'s in-process memo).
+    """
+
+    def __init__(self, device: DeviceModel | None = None):
+        self.device = device if device is not None else default_device()
+
+    # ------------------------------------------------------------------ keys
+    def point_key(self, route: str, point: str) -> str:
+        """Hot-cache/coalescing key of one point route: the runner's
+        content address prefixed with the route name."""
+        model, training = POINT_REGISTRY[point]
+        return f"{route}:{get_cache().key(model, training, self.device)}"
+
+    def grid_cache_key(self, model: BertConfig,
+                       trainings: list[TrainingConfig]) -> str:
+        """Hot-cache/coalescing key of one grid spec."""
+        address = get_cache().grid_key(
+            ((model, training) for training in trainings), self.device)
+        return f"grid:{address}"
+
+    # ------------------------------------------------------------- computes
+    def points_payload(self) -> dict:
+        """``GET /points``: the addressable operating-point registry."""
+        points = []
+        for point in sorted(POINT_REGISTRY):
+            model, training = POINT_REGISTRY[point]
+            points.append({
+                "id": point,
+                "model": model.name,
+                "label": training.label,
+                "batch_size": training.batch_size,
+                "seq_len": training.seq_len,
+                "precision": training.precision.value,
+                "tokens": training.tokens_per_iteration,
+            })
+        return {"points": points, "count": len(points)}
+
+    def profile_payload(self, point: str) -> dict:
+        """``GET /profile/<point>``: summary + breakdowns of one point.
+
+        Every number comes verbatim from the same ``run_point`` /
+        ``summarize`` / breakdown calls the experiments make — the
+        golden equivalence test compares this payload bit-for-bit
+        against those direct calls.
+        """
+        model, training = POINT_REGISTRY[point]
+        _, profile = run_point(model, training, self.device)
+        return {
+            "point": point,
+            "model": {
+                "name": model.name,
+                "num_layers": model.num_layers,
+                "d_model": model.d_model,
+                "num_heads": model.num_heads,
+                "d_ff": model.d_ff,
+                "parameters": model.total_parameters(),
+            },
+            "training": {
+                "label": training.label,
+                "batch_size": training.batch_size,
+                "seq_len": training.seq_len,
+                "precision": training.precision.value,
+                "optimizer": training.optimizer,
+                "tokens": training.tokens_per_iteration,
+            },
+            "device": self.device.name,
+            "kernels": len(profile),
+            "summary": summarize(profile),
+            "components": _entries_payload(component_breakdown(profile)),
+            "transformer": _entries_payload(transformer_breakdown(profile)),
+            "regions": _entries_payload(region_breakdown(profile).values()),
+        }
+
+    def perfetto_payload(self, point: str) -> dict:
+        """``GET /perfetto/<point>``: the Chrome Trace export.
+
+        Identical call shape to ``repro export --format perfetto`` (same
+        label, no pass pipeline), so the rendered bytes match the file.
+        """
+        from repro.obs.timeline_export import profile_to_chrome_trace
+
+        model, training = POINT_REGISTRY[point]
+        _, profile = run_point(model, training, self.device)
+        return profile_to_chrome_trace(
+            profile, label=f"{model.name} {training.label}")
+
+    def parse_grid_spec(self, spec: dict
+                        ) -> tuple[BertConfig, list[TrainingConfig]]:
+        """Validate a ``POST /grid`` body; raises ``ValueError`` on junk."""
+        from repro.experiments.sweeps import cross_product
+
+        if not isinstance(spec, dict):
+            raise ValueError("grid spec must be a JSON object")
+        unknown = set(spec) - {"model", "batch_sizes", "seq_lens",
+                               "precisions"}
+        if unknown:
+            raise ValueError(f"unknown grid spec fields: "
+                             f"{', '.join(sorted(unknown))}")
+        model_name = spec.get("model", "bert-large")
+        if model_name not in GRID_MODELS:
+            raise ValueError(f"unknown model {model_name!r}; valid: "
+                             f"{', '.join(sorted(GRID_MODELS))}")
+        try:
+            batches = [int(b) for b in spec.get("batch_sizes", (32,))]
+            lengths = [int(n) for n in spec.get("seq_lens", (128,))]
+            precisions = [_PRECISIONS[str(p).lower()]
+                          for p in spec.get("precisions", ("fp32",))]
+        except (KeyError, TypeError, ValueError):
+            raise ValueError("batch_sizes/seq_lens must be integer lists, "
+                             "precisions from fp32,mixed") from None
+        if not (batches and lengths and precisions):
+            raise ValueError("empty grid axis")
+        if min(batches) <= 0 or min(lengths) <= 0:
+            raise ValueError("batch sizes and seq lens must be positive")
+        total = len(batches) * len(lengths) * len(precisions)
+        if total > MAX_GRID_POINTS:
+            raise ValueError(f"grid of {total} points exceeds the "
+                             f"{MAX_GRID_POINTS}-point request limit")
+        return (GRID_MODELS[model_name],
+                cross_product(batches, lengths, precisions))
+
+    def grid_payload(self, model: BertConfig,
+                     trainings: list[TrainingConfig]) -> dict:
+        """``POST /grid``: a sweep priced through the batched grid engine."""
+        from repro.experiments.sweeps import grid_sweep
+
+        rows = grid_sweep(model, trainings, self.device)
+        return {
+            "model": model.name,
+            "device": self.device.name,
+            "points": len(rows),
+            "failed": sum(1 for row in rows if "error" in row),
+            "rows": rows,
+        }

@@ -8,6 +8,7 @@ import threading
 
 import pytest
 
+from repro.obs import metrics as metrics_mod
 from repro.obs.metrics import (MetricsRegistry, diff_snapshots, hit_rates,
                                merge_snapshots)
 from repro.runner import telemetry
@@ -57,8 +58,39 @@ class TestGaugeAndHistogram:
         for value in (1.0, 3.0, 2.0):
             histogram.observe(value)
         assert histogram.stats() == {"count": 3, "sum": 6.0,
-                                     "min": 1.0, "max": 3.0}
+                                     "min": 1.0, "max": 3.0,
+                                     "p50": 2.0,
+                                     "p90": pytest.approx(2.8),
+                                     "p99": pytest.approx(2.98)}
         assert histogram.stats(experiment="none") is None
+
+    def test_histogram_percentiles_exact_below_reservoir(self, registry):
+        histogram = registry.histogram("h")
+        for value in range(1, 101):  # 1..100, shuffled order irrelevant
+            histogram.observe(float(value))
+        stats = histogram.stats()
+        assert stats["p50"] == pytest.approx(50.5)
+        assert stats["p90"] == pytest.approx(90.1)
+        assert stats["p99"] == pytest.approx(99.01)
+
+    def test_histogram_reservoir_is_bounded(self, registry):
+        histogram = registry.histogram("h")
+        for value in range(4 * metrics_mod.RESERVOIR_SIZE):
+            histogram.observe(float(value))
+        series = histogram._series[""]
+        assert len(series["sample"]) == metrics_mod.RESERVOIR_SIZE
+        stats = histogram.stats()
+        assert stats["count"] == 4 * metrics_mod.RESERVOIR_SIZE
+        # The sample stays within the observed range and the quantile
+        # estimates stay ordered.
+        assert stats["min"] <= stats["p50"] <= stats["p90"] \
+            <= stats["p99"] <= stats["max"]
+
+    def test_single_observation_percentiles(self, registry):
+        histogram = registry.histogram("h")
+        histogram.observe(7.0)
+        stats = histogram.stats()
+        assert stats["p50"] == stats["p90"] == stats["p99"] == 7.0
 
 
 class TestRegistry:

@@ -232,3 +232,66 @@ class TestProfileTotalTimeCache:
         total = profile.total_time
         clone = pickle.loads(pickle.dumps(profile))
         assert clone.total_time == pytest.approx(total)
+
+
+class TestConcurrentAccess:
+    """Thread-safety regression for the server's worker pool.
+
+    Concurrent ``get_payload``/``put_payload`` on the *same* key must
+    never tear an entry (atomic rename), never serve a partially
+    written pickle, and never lose a stats increment (the counter
+    lock).
+    """
+
+    def test_same_key_hammering_never_tears(self, tmp_path):
+        import threading
+
+        cache = ResultCache(root=tmp_path / "cc")
+        key = "ab" + "0" * 62
+        payload = {"rows": list(range(500)), "tag": "constant"}
+        rounds, workers = 30, 8
+        failures = []
+        barrier = threading.Barrier(workers)
+
+        def work():
+            barrier.wait()
+            for _ in range(rounds):
+                cache.put_payload(key, payload)
+                loaded = cache.get_payload(key)
+                # A miss is only legal before the first replace lands;
+                # the barrier plus the leading put makes any miss after
+                # our own write a torn-entry bug.
+                if loaded != payload:
+                    failures.append(loaded)
+
+        threads = [threading.Thread(target=work) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures
+        # Exactly one entry on disk, still loadable, and no evictions
+        # (an eviction would mean a reader saw a corrupt entry).
+        assert len(cache.entries()) == 1
+        assert cache.stats.evictions == 0
+        assert cache.stats.hits == rounds * workers
+
+    def test_stats_increments_are_not_lost(self, tmp_path):
+        import threading
+
+        cache = ResultCache(root=tmp_path / "cc")
+        reads, workers = 200, 8
+
+        def work():
+            for _ in range(reads):
+                cache.get_payload("ff" + "1" * 62)  # always a miss
+
+        threads = [threading.Thread(target=work) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert cache.stats.misses == reads * workers
+        assert cache.stats.hits == 0

@@ -1,0 +1,468 @@
+"""Profiling server: endpoint contracts, coalescing, shedding, hot cache.
+
+Three layers under test:
+
+* **HTTP contracts** — a real asyncio server on an ephemeral port,
+  driven by a raw stdlib client (status codes, JSON schemas, 404s,
+  keep-alive, malformed-request handling);
+* **App semantics** — the transport-agnostic :class:`repro.serve.App`
+  driven directly, where scheduling is deterministic: 100 concurrent
+  identical requests perform exactly one engine computation, and a
+  saturated queue sheds leaders with 503 + ``Retry-After``;
+* **Golden equivalence** — served bodies are byte-identical to the
+  corresponding ``repro export --format perfetto`` file and to payloads
+  built from direct ``run_point``/``summarize`` calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.points import POINT_REGISTRY
+from repro.obs import metrics
+from repro.serve import (App, HotCache, ProfilingService, create_server,
+                         render_json, server_address)
+
+TINY = "tiny.ph1-b2-fp32"
+
+_REQUESTS = metrics.counter("serve.requests")
+_COMPUTATIONS = metrics.counter("serve.computations")
+_COALESCED = metrics.counter("serve.coalesced")
+_SHED = metrics.counter("serve.shed")
+
+
+@pytest.fixture
+def app():
+    instance = App(workers=2, queue_limit=8, hot_cache=HotCache())
+    yield instance
+    instance.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def http_request(host, port, method, path, body=b""):
+    """Raw stdlib HTTP client: (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        if body:
+            head += f"Content-Length: {len(body)}\r\n"
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+        return await read_response(reader)
+    finally:
+        writer.close()
+
+
+async def read_response(reader):
+    status = int((await reader.readline()).split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    payload = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, payload
+
+
+async def with_server(app, scenario):
+    """Run ``scenario(host, port)`` against a live server."""
+    server = await create_server(app)
+    try:
+        return await scenario(*server_address(server))
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+class TestEndpointContracts:
+    def test_healthz(self, app):
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", "/healthz")
+
+        status, headers, body = run(with_server(app, scenario))
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+
+    def test_points_lists_the_registry(self, app):
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", "/points")
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["count"] == len(POINT_REGISTRY)
+        ids = {point["id"] for point in payload["points"]}
+        assert ids == set(POINT_REGISTRY)
+        for point in payload["points"]:
+            assert set(point) == {"id", "model", "label", "batch_size",
+                                  "seq_len", "precision", "tokens"}
+
+    def test_registry_covers_fig8_and_fig9(self):
+        assert "fig8.ph1-b4-fp32" in POINT_REGISTRY
+        assert "fig8.ph2-b16-fp32" in POINT_REGISTRY
+        assert "fig9.c1.ph1-b8-fp32" in POINT_REGISTRY
+        assert "fig9.c3.ph1-b8-fp32" in POINT_REGISTRY
+        model, training = POINT_REGISTRY["fig9.c3.ph1-b8-fp32"]
+        assert model.name == "C3"
+        assert training.batch_size == 8
+
+    def test_profile_schema(self, app):
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", f"/profile/{TINY}")
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["point"] == TINY
+        assert payload["model"]["name"] == "bert-tiny"
+        assert payload["training"]["batch_size"] == 2
+        assert payload["kernels"] > 0
+        summary = payload["summary"]
+        assert 0 < summary["total_time_s"]
+        assert set(summary) >= {"transformer", "optimizer", "gemm"}
+        assert payload["components"] and payload["regions"]
+        for entry in payload["components"]:
+            assert set(entry) == {"label", "time_s", "fraction"}
+
+    def test_unknown_point_is_404_with_vocabulary(self, app):
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", "/profile/nope")
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 404
+        payload = json.loads(body)
+        assert "nope" in payload["error"]
+        assert payload["valid"] == sorted(POINT_REGISTRY)
+
+    def test_unknown_route_is_404(self, app):
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", "/nope")
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 404
+        assert "/profile/<point>" in json.loads(body)["routes"]
+
+    def test_wrong_method_is_405(self, app):
+        async def scenario(host, port):
+            return (await http_request(host, port, "POST", "/points"),
+                    await http_request(host, port, "GET", "/grid"))
+
+        (points_status, _, _), (grid_status, _, _) = \
+            run(with_server(app, scenario))
+        assert points_status == 405
+        assert grid_status == 405
+
+    def test_perfetto_is_a_valid_chrome_trace(self, app):
+        from repro.obs.timeline_export import validate_chrome_trace
+
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", f"/perfetto/{TINY}")
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 200
+        payload = json.loads(body)
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["kernels"] > 0
+
+    def test_grid_spec_round_trip(self, app):
+        spec = {"model": "bert-tiny", "batch_sizes": [2, 4],
+                "seq_lens": [32], "precisions": ["fp32"]}
+
+        async def scenario(host, port):
+            return await http_request(host, port, "POST", "/grid",
+                                      json.dumps(spec).encode())
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["model"] == "bert-tiny"
+        assert payload["points"] == 2
+        assert payload["failed"] == 0
+        labels = [row["label"] for row in payload["rows"]]
+        assert labels == ["Ph1-B2-FP32", "Ph1-B4-FP32"]
+        for row in payload["rows"]:
+            assert row["total_time_s"] > 0
+
+    def test_grid_rejects_junk(self, app):
+        async def scenario(host, port):
+            return (
+                await http_request(host, port, "POST", "/grid", b"not json"),
+                await http_request(host, port, "POST", "/grid",
+                                   json.dumps({"model": "gpt-5"}).encode()),
+                await http_request(host, port, "POST", "/grid",
+                                   json.dumps({"batch_sizes": []}).encode()),
+                await http_request(
+                    host, port, "POST", "/grid",
+                    json.dumps({"bogus_axis": [1]}).encode()),
+            )
+
+        responses = run(with_server(app, scenario))
+        assert [status for status, _, _ in responses] == [400, 400, 400, 400]
+
+    def test_keep_alive_serves_many_requests_per_connection(self, app):
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                statuses = []
+                for _ in range(3):
+                    writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                    await writer.drain()
+                    status, _, _ = await read_response(reader)
+                    statuses.append(status)
+                return statuses
+            finally:
+                writer.close()
+
+        assert run(with_server(app, scenario)) == [200, 200, 200]
+
+    def test_malformed_request_gets_400(self, app):
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"EXPLODE\r\n\r\n")
+                await writer.drain()
+                status, _, _ = await read_response(reader)
+                return status
+            finally:
+                writer.close()
+
+        assert run(with_server(app, scenario)) == 400
+
+    def test_stats_snapshot_sanity(self, app):
+        async def scenario(host, port):
+            await http_request(host, port, "GET", f"/profile/{TINY}")
+            await http_request(host, port, "GET", f"/profile/{TINY}")
+            return await http_request(host, port, "GET", "/stats")
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["workers"] == 2
+        assert payload["queue_limit"] == 8
+        hot = payload["hot_cache"]
+        assert hot["entries"] >= 1
+        assert hot["hits"] >= 1  # the second /profile was a hot read
+        assert 0 < hot["bytes"] <= hot["capacity_bytes"]
+        snapshot = payload["metrics"]
+        assert snapshot["serve.requests"]["kind"] == "counter"
+        latency = snapshot["serve.request_seconds"]
+        assert latency["kind"] == "histogram"
+        profile_series = latency["series"]["route=profile"]
+        assert profile_series["count"] >= 2
+        assert "p50" in profile_series and "p99" in profile_series
+        assert "serve.hot_cache.requests.hit_rate" in payload["hit_rates"]
+
+
+class TestCoalescing:
+    def test_100_concurrent_identical_requests_one_computation(self, app):
+        """The acceptance criterion, counter-asserted deterministically.
+
+        Driving the App directly makes scheduling exact: all 100
+        handlers register with the coalescer before the leader's worker
+        job can run, so precisely one computation is dispatched and the
+        other 99 attach to it.
+        """
+        point = "fig3.ph1-b32-fp32"
+        computed_before = _COMPUTATIONS.value(route="profile")
+        coalesced_before = _COALESCED.value(route="profile")
+
+        async def storm():
+            return await asyncio.gather(*(
+                app.handle("GET", f"/profile/{point}") for _ in range(100)))
+
+        responses = run(storm())
+        assert [r.status for r in responses] == [200] * 100
+        # Byte-identical bodies: everyone shared one rendering.
+        assert len({r.body for r in responses}) == 1
+        assert _COMPUTATIONS.value(route="profile") - computed_before == 1
+        assert _COALESCED.value(route="profile") - coalesced_before == 99
+
+    def test_sequential_repeat_hits_hot_cache_not_coalescer(self, app):
+        coalesced_before = _COALESCED.value(route="profile")
+        hits_before = app.hot.stats.hits
+
+        async def twice():
+            first = await app.handle("GET", f"/profile/{TINY}")
+            second = await app.handle("GET", f"/profile/{TINY}")
+            return first, second
+
+        first, second = run(twice())
+        assert first.body == second.body
+        assert app.hot.stats.hits - hits_before == 1
+        assert _COALESCED.value(route="profile") == coalesced_before
+
+    def test_coalesced_error_propagates_to_all_without_caching(self, app,
+                                                               monkeypatch):
+        def explode(point):
+            raise RuntimeError("engine on fire")
+
+        monkeypatch.setattr(app.service, "profile_payload", explode)
+
+        async def storm():
+            return await asyncio.gather(*(
+                app.handle("GET", f"/profile/{TINY}") for _ in range(5)))
+
+        responses = run(storm())
+        assert [r.status for r in responses] == [500] * 5
+        assert all(b"engine on fire" in r.body for r in responses)
+        assert len(app.hot) == 0  # errors are never cached
+
+
+class TestLoadShedding:
+    def test_saturated_queue_sheds_with_retry_after(self):
+        app = App(workers=1, queue_limit=1, hot_cache=HotCache())
+        shed_before = _SHED.value(route="profile")
+        try:
+            async def scenario():
+                # Two *different* points: the second must become a
+                # leader, find the queue full, and be refused.  Both
+                # are issued before the first computation can finish
+                # (the leader's inflight slot is taken synchronously).
+                return await asyncio.gather(
+                    app.handle("GET", f"/profile/{TINY}"),
+                    app.handle("GET", "/profile/fig3.ph1-b4-fp32"))
+
+            first, second = run(scenario())
+            assert first.status == 200
+            assert second.status == 503
+            assert second.headers["Retry-After"] == "1"
+            payload = json.loads(second.body)
+            assert payload["retry_after_s"] == 1
+            assert _SHED.value(route="profile") - shed_before == 1
+        finally:
+            app.close()
+
+    def test_followers_are_never_shed(self):
+        app = App(workers=1, queue_limit=1, hot_cache=HotCache())
+        try:
+            async def scenario():
+                # 20 identical requests against a full-width queue of 1:
+                # one leader takes the slot, 19 followers coalesce, no
+                # request is refused.
+                return await asyncio.gather(*(
+                    app.handle("GET", f"/profile/{TINY}")
+                    for _ in range(20)))
+
+            responses = run(scenario())
+            assert [r.status for r in responses] == [200] * 20
+        finally:
+            app.close()
+
+
+class TestHotCache:
+    def test_hit_miss_and_lru_order(self):
+        cache = HotCache(capacity_bytes=1024)
+        assert cache.get("a") is None
+        assert cache.put("a", b"x" * 100)
+        assert cache.get("a") == b"x" * 100
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_eviction_is_lru_and_bytes_bounded(self):
+        cache = HotCache(capacity_bytes=250)
+        cache.put("a", b"a" * 100)
+        cache.put("b", b"b" * 100)
+        cache.get("a")  # refresh a: b is now least recently used
+        cache.put("c", b"c" * 100)  # 300 bytes > 250: evict b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+        assert cache.size_bytes <= 250
+
+    def test_oversize_value_is_not_admitted(self):
+        cache = HotCache(capacity_bytes=10)
+        assert not cache.put("big", b"y" * 11)
+        assert len(cache) == 0
+
+    def test_replacing_a_key_updates_byte_accounting(self):
+        cache = HotCache(capacity_bytes=300)
+        cache.put("a", b"a" * 200)
+        cache.put("a", b"a" * 50)
+        assert cache.size_bytes == 50
+        cache.put("b", b"b" * 240)  # fits: 290 <= 300, no eviction
+        assert "a" in cache and "b" in cache
+        assert cache.stats.evictions == 0
+
+    def test_lru_eviction_through_the_app(self):
+        """End-to-end: a tiny budget forces the older entry out."""
+        app = App(workers=1, hot_cache=HotCache(capacity_bytes=3000))
+        try:
+            async def scenario():
+                first = await app.handle("GET", f"/profile/{TINY}")
+                assert 1000 < len(first.body) < 3000  # budget fits one
+                key_tiny = app.service.point_key("profile", TINY)
+                assert key_tiny in app.hot
+                # The perfetto body (~75KB) is oversize for this budget:
+                # not admitted, the profile entry survives.
+                await app.handle("GET", f"/perfetto/{TINY}")
+                assert key_tiny in app.hot
+                # A second profile entry blows the budget: LRU evicts
+                # the tiny point, the newer entry stays.
+                other = "fig9.c1.ph1-b8-fp32"
+                await app.handle("GET", f"/profile/{other}")
+                assert app.service.point_key("profile", other) in app.hot
+                assert key_tiny not in app.hot
+                assert app.hot.stats.evictions >= 1
+                assert app.hot.size_bytes <= 3000
+                return True
+
+            assert run(scenario())
+        finally:
+            app.close()
+
+
+class TestGoldenEquivalence:
+    def test_profile_matches_direct_run_point(self, app):
+        """Server bytes == canonical rendering of direct engine calls."""
+        from repro.experiments.common import run_point
+        from repro.experiments.points import resolve_point
+        from repro.profiler.breakdown import summarize
+
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", f"/profile/{TINY}")
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 200
+
+        expected = render_json(app.service.profile_payload(TINY))
+        assert body == expected
+
+        # And the summary numbers are exactly run_point's.
+        model, training = resolve_point(TINY)
+        _, profile = run_point(model, training, app.service.device)
+        assert json.loads(body)["summary"] == summarize(profile)
+
+    def test_perfetto_matches_cli_export_file(self, app, tmp_path):
+        """Served trace is byte-identical to `repro export` output."""
+        from repro.cli import main
+
+        out = tmp_path / "tiny.json"
+        assert main(["export", "--format", "perfetto", TINY,
+                     str(out)]) == 0
+
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", f"/perfetto/{TINY}")
+
+        status, _, body = run(with_server(app, scenario))
+        assert status == 200
+        assert body == out.read_bytes()
+
+
+class TestServeCli:
+    def test_rejects_nonpositive_knobs(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--workers", "0"]) == 2
+        assert main(["serve", "--queue-limit", "0"]) == 2
+        assert main(["serve", "--hot-cache-mb", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
