@@ -17,11 +17,14 @@ experiments:
 
 # Tier-1 gate: the full test suite, a parallel end-to-end smoke of
 # every registered experiment (exercises the runner, cache and manifest),
-# and a validated Perfetto export (exercises the observability layer).
+# a validated Perfetto export (exercises the observability layer), and a
+# live-server telemetry smoke (scrapes /metrics, validates the Prometheus
+# exposition, round-trips a trace through the flight recorder).
 verify:
 	PYTHONPATH=src python -m pytest tests/ -x -q
 	PYTHONPATH=src python -m repro run all --jobs 2
 	PYTHONPATH=src python scripts/check_perfetto.py perfetto-smoke
+	PYTHONPATH=src python scripts/check_prometheus.py prometheus-smoke
 
 examples:
 	python examples/quickstart.py

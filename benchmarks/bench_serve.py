@@ -185,6 +185,13 @@ async def _bench(root: Path) -> dict:
 
         latency_stats = metrics.histogram("serve.request_seconds") \
             .stats(route="profile")
+
+        # Server-side per-route view: the /stats endpoint aggregates the
+        # same histogram by route, so the report can break latency down
+        # without the client tracking which path hit which route.
+        status, stats_body = await _request(host, port, "/stats")
+        assert status == 200
+        server_stats = json.loads(stats_body)
         return {
             "device": "mi100",
             "workers": 4,
@@ -213,6 +220,11 @@ async def _bench(root: Path) -> dict:
                 "computations": storm_computations,
             },
             "server_histogram_profile_route": latency_stats,
+            "per_route": {
+                "requests": server_stats["requests_by_route"],
+                "latency": server_stats["route_latency"],
+            },
+            "flight": server_stats["flight"],
             "floors": {
                 "min_hot_rps": MIN_HOT_RPS,
                 "min_coalesce_speedup": MIN_COALESCE_SPEEDUP,
@@ -247,6 +259,11 @@ def main() -> int:
           f"{storm['storm_s'] * 1e3:.1f}ms vs serial "
           f"{storm['serial_s'] * 1e3:.0f}ms -> {storm['speedup']:.1f}x "
           f"({storm['computations']} computation)")
+    for route in sorted(payload["per_route"]["latency"]):
+        stats = payload["per_route"]["latency"][route]
+        count = payload["per_route"]["requests"][route]["total"]
+        print(f"route {route}: {count} reqs, "
+              f"p50 {stats['p50_ms']:.2f}ms p99 {stats['p99_ms']:.2f}ms")
 
     failed = False
     if hot["rps"] < MIN_HOT_RPS:

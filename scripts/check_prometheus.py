@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""CI smoke check of the request-scoped telemetry pipeline.
+
+Boots the real serve stack in-process (App + asyncio HTTP transport on a
+free port), drives a handful of requests through the socket path, then
+checks every acceptance surface of the pipeline:
+
+* ``GET /metrics`` declares the exposition content type and the body
+  passes :func:`repro.obs.prometheus.validate_exposition` (and carries
+  the serve request counters the traffic just incremented);
+* the cold ``/profile`` request produced **one connected span tree**
+  under a single trace id — ``serve.request`` rooting the engine spans
+  the worker thread opened;
+* ``GET /debug/trace/<id>`` round-trips that tree through
+  :func:`repro.obs.timeline_export.validate_chrome_trace`;
+* the ``--event-log`` JSONL written during the run parses and records
+  the traffic (saved as a CI artifact).
+
+Dependency-free (stdlib + the repo).  Exits nonzero on any problem.
+
+Usage::
+
+    python scripts/check_prometheus.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import urllib.request
+from pathlib import Path
+
+from repro.obs.flight import build_span_tree, read_event_log
+from repro.obs.prometheus import CONTENT_TYPE, validate_exposition
+from repro.obs.timeline_export import validate_chrome_trace
+
+POINT = "fig3.ph1-b32-fp32"
+
+
+def _get(base: str, path: str) -> tuple[dict, bytes]:
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        return dict(response.headers), response.read()
+
+
+async def _drive(out: Path) -> None:
+    from repro.serve import App, HotCache, create_server, server_address
+
+    event_log = out / "flight.jsonl"
+    app = App(workers=2, queue_limit=8, hot_cache=HotCache(),
+              event_log=str(event_log))
+    server = await create_server(app, port=0)
+    host, port = server_address(server)
+    base = f"http://{host}:{port}"
+    loop = asyncio.get_running_loop()
+
+    try:
+        # Cold profile (computes on a worker thread), then a hot repeat.
+        for _ in range(2):
+            await loop.run_in_executor(
+                None, _get, base, f"/profile/{POINT}")
+        await loop.run_in_executor(None, _get, base, "/healthz")
+
+        headers, body = await loop.run_in_executor(
+            None, _get, base, "/metrics")
+        if headers.get("Content-Type") != CONTENT_TYPE:
+            raise SystemExit(f"/metrics Content-Type is "
+                             f"{headers.get('Content-Type')!r}, "
+                             f"expected {CONTENT_TYPE!r}")
+        text = body.decode()
+        (out / "metrics.prom").write_text(text)
+        problems = validate_exposition(text)
+        if problems:
+            raise SystemExit("/metrics failed validation: "
+                             + "; ".join(problems))
+        for needle in ("serve_requests_total", "serve_request_seconds"):
+            if needle not in text:
+                raise SystemExit(f"/metrics missing {needle}")
+        print(f"ok: /metrics ({len(text.splitlines())} lines, "
+              "exposition-valid)")
+
+        _, debug = await loop.run_in_executor(
+            None, _get, base, "/debug/requests")
+        requests = json.loads(debug)["requests"]
+        cold = [r for r in requests
+                if r["route"] == "profile" and r["cache"] == "computed"]
+        if not cold:
+            raise SystemExit("no computed /profile request in the flight "
+                             "recorder")
+        trace_id = cold[-1]["trace_id"]
+
+        _, trace = await loop.run_in_executor(
+            None, _get, base, f"/debug/trace/{trace_id}")
+        record = json.loads(trace)
+        roots = build_span_tree(record["spans"])
+        if len(roots) != 1 or roots[0]["name"] != "serve.request":
+            raise SystemExit(
+                f"trace {trace_id}: expected one serve.request root, got "
+                f"{[r['name'] for r in roots]}")
+        if not roots[0]["children"]:
+            raise SystemExit(f"trace {trace_id}: serve.request has no "
+                             "engine children (context not propagated)")
+        problems = validate_chrome_trace(record["perfetto"])
+        if problems:
+            raise SystemExit(f"trace {trace_id}: perfetto export invalid: "
+                             + "; ".join(problems))
+        print(f"ok: /debug/trace/{trace_id} ({len(record['spans'])} spans, "
+              "one connected tree, perfetto-valid)")
+    finally:
+        server.close()
+        await server.wait_closed()
+        app.close()
+
+    records = read_event_log(event_log)
+    if len(records) < 3:
+        raise SystemExit(f"event log has {len(records)} records, "
+                         "expected the driven traffic")
+    print(f"ok: {event_log} ({len(records)} records)")
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "prometheus-smoke")
+    out.mkdir(parents=True, exist_ok=True)
+    asyncio.run(_drive(out))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,9 @@ Usage::
     python -m repro report
     python -m repro spans
     python -m repro stats
-    python -m repro serve --port 8321
+    python -m repro stats --prom
+    python -m repro serve --port 8321 --event-log runs/flight.jsonl
+    python -m repro flight --log runs/flight.jsonl
     python -m repro export fig8 /tmp/fig8.csv
     python -m repro export --format perfetto fig3.ph1-b32-fp32 /tmp/t.json
     python -m repro export --format perfetto --passes fuse_elementwise \
@@ -96,6 +98,25 @@ def _build_parser() -> argparse.ArgumentParser:
                             "shedding with 503 (default 32)")
     serve.add_argument("--hot-cache-mb", type=int, default=64, metavar="MB",
                        help="in-process response cache budget (default 64)")
+    serve.add_argument("--flight-slots", type=int, default=256, metavar="N",
+                       help="completed requests kept in the flight "
+                            "recorder ring (default 256)")
+    serve.add_argument("--event-log", default=None, metavar="PATH",
+                       help="append every completed request as one JSON "
+                            "line to PATH (inspect with `repro flight`)")
+
+    flight = commands.add_parser(
+        "flight",
+        help="inspect a flight-recorder event log written by "
+             "`repro serve --event-log`")
+    flight.add_argument("--log", required=True, metavar="PATH",
+                        help="JSONL event log to read")
+    flight.add_argument("--last", type=int, default=20, metavar="N",
+                        help="show the last N requests (default 20; "
+                             "0 shows all)")
+    flight.add_argument("--trace", default=None, metavar="TRACE_ID",
+                        help="print one request's full span tree instead "
+                             "of the listing")
 
     commands.add_parser(
         "passes", help="list the registered trace-rewrite passes")
@@ -114,6 +135,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="metrics (counters/hit rates) of a run manifest")
     stats.add_argument("--run", metavar="PATH", default=None,
                        help="manifest file (default: latest under runs/)")
+    stats.add_argument("--prom", action="store_true",
+                       help="render the manifest's metrics in Prometheus "
+                            "text exposition format instead of a table")
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the result cache")
@@ -272,13 +296,41 @@ def _cmd_spans(run_path: str | None) -> int:
     return 0
 
 
-def _cmd_stats(run_path: str | None) -> int:
+def _cmd_stats(run_path: str | None, prom: bool = False) -> int:
     from repro.runner.manifest import render_stats
 
     manifest = _load_manifest_or_complain(run_path)
     if manifest is None:
         return 1
+    if prom:
+        from repro.obs.prometheus import render_prometheus
+        snapshot = (manifest.get("observability") or {}).get("metrics") or {}
+        if not snapshot:
+            print("no metrics recorded in this manifest", file=sys.stderr)
+            return 1
+        print(render_prometheus(snapshot), end="")
+        return 0
     print(render_stats(manifest))
+    return 0
+
+
+def _cmd_flight(log_path: str, last: int, trace_id: str | None) -> int:
+    from repro.obs.flight import (read_event_log, render_flight_table,
+                                  render_trace_tree)
+
+    try:
+        records = read_event_log(log_path)
+    except OSError as error:
+        print(f"cannot read event log: {error}", file=sys.stderr)
+        return 1
+    if trace_id is not None:
+        matches = [r for r in records if r.get("trace_id") == trace_id]
+        if not matches:
+            print(f"trace {trace_id!r} not in {log_path}", file=sys.stderr)
+            return 1
+        print(render_trace_tree(matches[-1]))
+        return 0
+    print(render_flight_table(records, last=last))
     return 0
 
 
@@ -347,15 +399,18 @@ def _cmd_grid(model_name: str, batch_sizes: str, seq_lens: str,
 
 
 def _cmd_serve(host: str, port: int, *, workers: int, queue_limit: int,
-               hot_cache_mb: int) -> int:
+               hot_cache_mb: int, flight_slots: int,
+               event_log: str | None) -> int:
     from repro.serve import App, HotCache, run_server
 
-    if workers <= 0 or queue_limit <= 0 or hot_cache_mb <= 0:
-        print("--workers, --queue-limit and --hot-cache-mb must be positive",
-              file=sys.stderr)
+    if workers <= 0 or queue_limit <= 0 or hot_cache_mb <= 0 \
+            or flight_slots <= 0:
+        print("--workers, --queue-limit, --hot-cache-mb and --flight-slots "
+              "must be positive", file=sys.stderr)
         return 2
     app = App(workers=workers, queue_limit=queue_limit,
-              hot_cache=HotCache(hot_cache_mb * 1024 * 1024))
+              hot_cache=HotCache(hot_cache_mb * 1024 * 1024),
+              flight_capacity=flight_slots, event_log=event_log)
     run_server(app, host=host, port=port)
     return 0
 
@@ -434,7 +489,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "spans":
         return _cmd_spans(args.run)
     if args.command == "stats":
-        return _cmd_stats(args.run)
+        return _cmd_stats(args.run, prom=args.prom)
+    if args.command == "flight":
+        return _cmd_flight(args.log, args.last, args.trace)
     if args.command == "cache":
         return _cmd_cache(args.action)
     if args.command == "grid":
@@ -443,7 +500,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
         return _cmd_serve(args.host, args.port, workers=args.workers,
                           queue_limit=args.queue_limit,
-                          hot_cache_mb=args.hot_cache_mb)
+                          hot_cache_mb=args.hot_cache_mb,
+                          flight_slots=args.flight_slots,
+                          event_log=args.event_log)
     if args.command == "passes":
         return _cmd_passes()
     if args.command == "info":

@@ -7,11 +7,16 @@ kernel streams and multi-device timelines as Chrome Trace Event JSON for
 ui.perfetto.dev / chrome://tracing.  See ``docs/observability.md``.
 """
 
+from repro.obs.flight import (FlightRecorder, RequestRecord, build_span_tree,
+                              read_event_log)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                diff_snapshots, get_registry, hit_rates,
                                merge_snapshots)
-from repro.obs.spans import (Span, SpanTracer, aggregate_spans, annotate,
-                             get_tracer, merge_span_summaries, span, traced)
+from repro.obs.prometheus import (render_prometheus, render_registry,
+                                  validate_exposition)
+from repro.obs.spans import (Span, SpanTracer, TraceContext, aggregate_spans,
+                             annotate, attach, current_context, get_tracer,
+                             merge_span_summaries, new_trace_id, span, traced)
 from repro.obs.timeline_export import (collective_run_to_chrome_trace,
                                        device_timelines_to_chrome_trace,
                                        profile_to_chrome_trace,
@@ -20,10 +25,14 @@ from repro.obs.timeline_export import (collective_run_to_chrome_trace,
                                        write_chrome_trace)
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span", "SpanTracer",
-    "aggregate_spans", "annotate", "collective_run_to_chrome_trace",
+    "Counter", "FlightRecorder", "Gauge", "Histogram", "MetricsRegistry",
+    "RequestRecord", "Span", "SpanTracer", "TraceContext",
+    "aggregate_spans", "annotate", "attach", "build_span_tree",
+    "collective_run_to_chrome_trace", "current_context",
     "device_timelines_to_chrome_trace", "diff_snapshots", "get_registry",
     "get_tracer", "hit_rates", "merge_snapshots", "merge_span_summaries",
-    "profile_to_chrome_trace", "span", "spans_to_chrome_trace", "traced",
-    "validate_chrome_trace", "write_chrome_trace",
+    "new_trace_id", "profile_to_chrome_trace", "read_event_log",
+    "render_prometheus", "render_registry", "span", "spans_to_chrome_trace",
+    "traced", "validate_chrome_trace", "validate_exposition",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,338 @@
+"""Flight recorder: a bounded ring of the last N completed requests.
+
+"What did request X actually execute, and why was it slow?" — answered
+from the *running* server, after the fact.  The serve app registers a
+:class:`FlightRecorder` as a span sink on the process tracer; every span
+finishing with a watched ``trace_id`` is buffered, and when the request
+completes the app seals a :class:`RequestRecord` — trace id, route,
+method/path, status, latency, which cache tier answered, and the full
+span tree — into a ``deque(maxlen=capacity)``.  Memory is bounded twice:
+the ring holds at most ``capacity`` records, and span buffers exist only
+for trace ids between ``begin`` and ``complete``.
+
+Consumers:
+
+* ``GET /debug/requests`` — the ring, newest first, span trees
+  summarized;
+* ``GET /debug/trace/<trace_id>`` — one record in full: raw spans, the
+  nested tree (:func:`build_span_tree`) and a Perfetto/Chrome-trace
+  export of exactly that request;
+* ``--event-log PATH`` — every sealed record appended as one JSON line
+  (a durable structured log that outlives the ring);
+* ``repro flight`` — offline tailing/inspection of that JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.spans import Span, SpanTracer, aggregate_spans
+
+#: Default ring capacity: enough to debug a storm, small next to the
+#: hot cache.
+DEFAULT_CAPACITY = 256
+
+
+@dataclass
+class RequestRecord:
+    """One completed request, as the flight recorder remembers it.
+
+    Attributes:
+        trace_id: the request's trace id (every span in ``spans`` shares
+            it).
+        route: resolved route name (``profile``, ``grid``, ...).
+        method: HTTP method.
+        path: request path.
+        status: response status code.
+        duration_s: end-to-end request wall-clock.
+        cache: which tier answered — ``hot`` (rendered-bytes cache),
+            ``coalesced`` (shared an in-flight leader), ``computed``
+            (engine ran), ``shed`` (refused with 503) or ``none``
+            (non-cacheable route).
+        completed_utc: ISO-8601 UTC second the record was sealed.
+        spans: the request's finished spans as plain dicts
+            (:meth:`repro.obs.spans.Span.as_dict` shape).
+    """
+
+    trace_id: str
+    route: str
+    method: str
+    path: str
+    status: int
+    duration_s: float
+    cache: str = "none"
+    completed_utc: str = ""
+    spans: list[dict] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """Ring-listing view: everything but the raw spans."""
+        return {
+            "trace_id": self.trace_id,
+            "route": self.route,
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "duration_ms": round(self.duration_s * 1e3, 3),
+            "cache": self.cache,
+            "completed_utc": self.completed_utc,
+            "spans": len(self.spans),
+            "span_names": sorted({s["name"] for s in self.spans}),
+        }
+
+    def as_dict(self) -> dict:
+        return {**self.summary(), "spans": self.spans}
+
+
+def spans_from_dicts(spans: list[dict]) -> list[Span]:
+    """Rehydrate :class:`Span` objects from their ``as_dict`` form (the
+    shape stored in records and event logs), for the Perfetto exporter
+    and the span aggregator."""
+    out: list[Span] = []
+    for payload in spans:
+        start = float(payload.get("start_s", 0.0))
+        out.append(Span(
+            name=payload.get("name", "?"),
+            category=payload.get("category", "repro"),
+            start_s=start,
+            end_s=start + float(payload.get("duration_s", 0.0)),
+            thread_id=int(payload.get("thread_id", 0)),
+            span_id=int(payload.get("span_id", 0)),
+            parent_id=int(payload.get("parent_id", -1)),
+            depth=int(payload.get("depth", 0)),
+            trace_id=str(payload.get("trace_id", "")),
+            attrs=dict(payload.get("attrs", {}))))
+    return out
+
+
+def build_span_tree(spans: list[dict]) -> list[dict]:
+    """Nest flat span dicts into parent→children trees.
+
+    Returns the list of roots (``parent_id`` absent from the set — the
+    ``serve.request`` span for a request record).  Children are ordered
+    by start time.  Spans recorded in a worker *process* may reference a
+    parent id that lives in another process; they surface as extra
+    roots rather than being dropped.
+    """
+    by_id: dict[int, dict] = {}
+    for span in sorted(spans, key=lambda s: s.get("start_s", 0.0)):
+        node = dict(span)
+        node["children"] = []
+        by_id[node["span_id"]] = node
+    roots: list[dict] = []
+    for node in by_id.values():
+        parent = by_id.get(node["parent_id"])
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+class FlightRecorder:
+    """Bounded request-record ring fed by a span sink.
+
+    Lifecycle per request: :meth:`begin` (register the trace id as
+    watched) → spans finish on any thread and are buffered by the sink →
+    :meth:`complete` (seal the record, unwatch, append to the ring and
+    the event log).  Spans finishing for unwatched trace ids — other
+    subsystems' traces, or stragglers after a client hung up — are
+    dropped at the sink, so the recorder never grows with foreign
+    traffic.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 event_log: str | Path | None = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.event_log_path = Path(event_log) if event_log else None
+        self._lock = threading.Lock()
+        self._ring: deque[RequestRecord] = deque(maxlen=capacity)
+        self._pending: dict[str, list[dict]] = {}
+        self._recorded = 0
+        self._dropped_spans = 0
+        self._tracer: SpanTracer | None = None
+        self._restore: tuple[bool, bool] | None = None
+        self._log_handle = None
+        if self.event_log_path is not None:
+            self.event_log_path.parent.mkdir(parents=True, exist_ok=True)
+            self._log_handle = open(self.event_log_path, "a",
+                                    encoding="utf-8")
+
+    # ----------------------------------------------------------- tracer tie
+    def install(self, tracer: SpanTracer) -> None:
+        """Attach to ``tracer``: sink registered, tracing enabled without
+        retention (the server must not accumulate spans forever)."""
+        self._tracer = tracer
+        self._restore = (tracer.enabled, tracer._retain)
+        tracer.add_sink(self._sink)
+        tracer.enable(retain=tracer._retain if tracer.enabled else False)
+
+    def uninstall(self) -> None:
+        """Detach from the tracer and restore its prior state."""
+        if self._tracer is not None:
+            self._tracer.remove_sink(self._sink)
+            if self._restore is not None:
+                enabled, retain = self._restore
+                if enabled:
+                    self._tracer.enable(retain=retain)
+                else:
+                    self._tracer.disable()
+            self._tracer = None
+            self._restore = None
+        self.close()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._log_handle is not None:
+                try:
+                    self._log_handle.close()
+                finally:
+                    self._log_handle = None
+
+    # ------------------------------------------------------------ recording
+    def _sink(self, span: Span) -> None:
+        with self._lock:
+            buffer = self._pending.get(span.trace_id)
+            if buffer is None:
+                self._dropped_spans += 1
+                return
+            buffer.append(span.as_dict())
+
+    def begin(self, trace_id: str) -> None:
+        """Start watching ``trace_id``; its spans buffer until sealed."""
+        with self._lock:
+            self._pending.setdefault(trace_id, [])
+
+    def complete(self, trace_id: str, *, route: str, method: str,
+                 path: str, status: int, duration_s: float,
+                 cache: str = "none") -> RequestRecord:
+        """Seal the record for ``trace_id`` and append it to the ring."""
+        record = RequestRecord(
+            trace_id=trace_id, route=route, method=method, path=path,
+            status=status, duration_s=duration_s, cache=cache,
+            completed_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                        time.gmtime()))
+        with self._lock:
+            record.spans = self._pending.pop(trace_id, [])
+            self._ring.append(record)
+            self._recorded += 1
+            handle = self._log_handle
+            if handle is not None:
+                handle.write(json.dumps(record.as_dict()) + "\n")
+                handle.flush()
+        return record
+
+    # -------------------------------------------------------------- queries
+    def records(self, last: int | None = None) -> list[RequestRecord]:
+        """Sealed records, newest first (optionally only the last N)."""
+        with self._lock:
+            records = list(self._ring)
+        records.reverse()
+        return records if last is None else records[:last]
+
+    def lookup(self, trace_id: str) -> RequestRecord | None:
+        """The sealed record for ``trace_id``, if still in the ring."""
+        with self._lock:
+            for record in self._ring:
+                if record.trace_id == trace_id:
+                    return record
+        return None
+
+    def snapshot(self) -> dict:
+        """JSON-able recorder state for ``/stats`` and ``/debug``."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "recorded": self._recorded,
+                "held": len(self._ring),
+                "pending": len(self._pending),
+                "dropped_spans": self._dropped_spans,
+                "event_log": (str(self.event_log_path)
+                              if self.event_log_path else None),
+            }
+
+
+# ------------------------------------------------------------ offline views
+def read_event_log(path: str | Path) -> list[dict]:
+    """Parse a flight-recorder JSONL event log (bad lines skipped)."""
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict) and "trace_id" in payload:
+                records.append(payload)
+    return records
+
+
+def render_flight_table(records: list[dict], last: int = 20) -> str:
+    """The ``repro flight`` listing: newest requests last (tail order)."""
+    from repro.report.tables import format_table
+
+    if not records:
+        return "no flight records"
+    shown = records[-last:] if last else records
+    rows = []
+    for record in shown:
+        spans = record.get("spans")
+        span_count = len(spans) if isinstance(spans, list) else spans
+        rows.append((
+            record.get("completed_utc", "?"),
+            record.get("trace_id", "?"),
+            record.get("method", "?"),
+            record.get("route", "?"),
+            record.get("status", "?"),
+            f"{record.get('duration_ms', 0.0):.2f} ms",
+            record.get("cache", "?"),
+            span_count if span_count is not None else 0,
+        ))
+    table = format_table(
+        ("completed", "trace_id", "method", "route", "status",
+         "latency", "cache", "spans"), rows)
+    return (f"{table}\n\n{len(shown)} of {len(records)} recorded "
+            "requests (newest last); inspect one with "
+            "`repro flight --log <path> --trace <trace_id>`")
+
+
+def render_trace_tree(record: dict) -> str:
+    """The ``repro flight --trace`` view: one request's nested spans."""
+    spans = record.get("spans")
+    header = (f"trace {record.get('trace_id', '?')}  "
+              f"{record.get('method', '?')} {record.get('path', '?')} -> "
+              f"{record.get('status', '?')}  "
+              f"{record.get('duration_ms', 0.0):.2f} ms  "
+              f"cache={record.get('cache', '?')}")
+    if not isinstance(spans, list) or not spans:
+        return header + "\n\n(no spans recorded for this request)"
+
+    lines: list[str] = []
+
+    def walk(node: dict, indent: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in node.get("attrs",
+                                                         {}).items())
+        lines.append(f"{'  ' * indent}{node['name']}  "
+                     f"{node.get('duration_s', 0.0) * 1e3:.3f} ms"
+                     + (f"  [{attrs}]" if attrs else ""))
+        for child in node.get("children", ()):
+            walk(child, indent + 1)
+
+    for root in build_span_tree(spans):
+        walk(root, 0)
+    summary = aggregate_spans(spans_from_dicts(spans))
+    busiest = sorted(summary.items(),
+                     key=lambda item: item[1]["total_s"], reverse=True)
+    footer = "\n".join(
+        f"  {name}: {entry['count']}x, {entry['total_s'] * 1e3:.3f} ms"
+        for name, entry in busiest[:8])
+    return f"{header}\n\n" + "\n".join(lines) + f"\n\ntotals:\n{footer}"

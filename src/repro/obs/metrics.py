@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import random
 import threading
+import zlib
 
 #: Snapshot key for the unlabeled series of a metric.
 _NO_LABELS = ""
@@ -56,10 +57,15 @@ class _Metric:
         self._series: dict[str, object] = {}
 
     def snapshot(self) -> dict[str, object]:
-        """Label key -> JSON-able value (taken under the registry lock)."""
+        """Label key -> JSON-able value (taken under the registry lock).
+
+        Label keys come out sorted, so snapshots (and everything rendered
+        from them — ``repro stats``, ``/stats``, ``/metrics``) are stable
+        for diffing and golden tests whatever the observation order was.
+        """
         with self._lock:
-            return {key: self._export(value)
-                    for key, value in self._series.items()}
+            return {key: self._export(self._series[key])
+                    for key in sorted(self._series)}
 
     @staticmethod
     def _export(value):
@@ -128,9 +134,20 @@ class Histogram(_Metric):
     (:data:`RESERVOIR_SIZE` values, reservoir-sampled once full), so a
     series never grows with traffic yet ``p50``/``p90``/``p99`` stay
     exact for small series and statistically sound for large ones.
+
+    Each series seeds its own :class:`random.Random` from the metric
+    name + label key, so reservoir contents — and therefore quantile
+    estimates past the reservoir size — are a pure function of the
+    observation sequence.  Tests can assert quantiles exactly, and a
+    re-run of the same workload reports the same percentiles; the old
+    module-global ``random`` made both depend on everything else the
+    process had sampled.
     """
 
     kind = "histogram"
+
+    def _seed(self, key: str) -> int:
+        return zlib.crc32(f"{self.name}|{key}".encode())
 
     def observe(self, value: float, **labels) -> None:
         key = _label_key(labels)
@@ -139,7 +156,8 @@ class Histogram(_Metric):
             if stats is None:
                 self._series[key] = {"count": 1, "sum": value,
                                      "min": value, "max": value,
-                                     "sample": [value]}
+                                     "sample": [value],
+                                     "rng": random.Random(self._seed(key))}
             else:
                 stats["count"] += 1
                 stats["sum"] += value
@@ -149,7 +167,7 @@ class Histogram(_Metric):
                 if len(sample) < RESERVOIR_SIZE:
                     sample.append(value)
                 else:  # Algorithm R: keep each value with p = size/count
-                    slot = random.randrange(stats["count"])
+                    slot = stats["rng"].randrange(stats["count"])
                     if slot < RESERVOIR_SIZE:
                         sample[slot] = value
 
@@ -160,7 +178,8 @@ class Histogram(_Metric):
 
     @staticmethod
     def _export(value):
-        out = {k: v for k, v in value.items() if k != "sample"}
+        out = {k: v for k, v in value.items()
+               if k not in ("sample", "rng")}
         ordered = sorted(value["sample"])
         for name, q in QUANTILES:
             out[name] = _quantile(ordered, q)
@@ -200,12 +219,23 @@ class MetricsRegistry:
         return self._get(Histogram, name, help_text)
 
     def snapshot(self) -> dict[str, dict]:
-        """JSON-able state of every metric: ``{name: {kind, series}}``."""
+        """JSON-able state of every metric: ``{name: {kind, series}}``.
+
+        Metric names (and, per metric, label keys) come out sorted so
+        every rendering downstream is byte-stable across runs.
+        """
         with self._lock:
-            metrics = list(self._metrics.values())
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
         return {metric.name: {"kind": metric.kind,
                               "series": metric.snapshot()}
                 for metric in metrics}
+
+    def help_texts(self) -> dict[str, str]:
+        """Registered help strings by metric name (Prometheus HELP lines)."""
+        with self._lock:
+            return {name: self._metrics[name].help
+                    for name in sorted(self._metrics)
+                    if self._metrics[name].help}
 
     def clear(self) -> None:
         """Drop every metric (tests)."""

@@ -1,0 +1,304 @@
+"""Prometheus text exposition of the metrics registry.
+
+The registry snapshot (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`)
+is the single source of truth for every metric in the process; this module
+renders it in the Prometheus text exposition format (version 0.0.4) so a
+standard scraper pointed at ``GET /metrics`` — or a human reading ``repro
+stats --prom`` — sees the same counters, gauges and latency quantiles the
+JSON ``/stats`` endpoint reports.
+
+Mapping, stdlib-only on both ends:
+
+* metric names are sanitized (``serve.request_seconds`` →
+  ``serve_request_seconds``); **counters** gain the conventional
+  ``_total`` suffix;
+* label keys (the registry's sorted ``k=v,...`` strings) become
+  ``{k="v",...}`` with proper escaping;
+* **histograms** render as Prometheus *summaries*: one
+  ``{quantile="0.5|0.9|0.99"}`` sample per reported percentile plus
+  ``_sum`` and ``_count``, with the registry's min/max as two auxiliary
+  gauge families (``<name>_min`` / ``<name>_max``).
+
+Everything is emitted in sorted name order, one ``# TYPE`` (and optional
+``# HELP``) line per family before its samples, so output is byte-stable
+— ``scripts/check_prometheus.py`` validates a live scrape against
+:func:`validate_exposition` in CI.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: Content-Type a compliant exposition response must declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Quantile label values for the registry's fixed percentile set.
+_QUANTILE_LABELS = {"p50": "0.5", "p90": "0.9", "p99": "0.99"}
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One sample line: name, optional {labels}, value (validation regex).
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$")
+
+_LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A registry metric name as a legal Prometheus metric name."""
+    sanitized = _SANITIZE.sub("_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def parse_label_key(key: str) -> dict[str, str]:
+    """The registry's sorted ``k=v,...`` label key as a dict."""
+    if not key:
+        return {}
+    labels: dict[str, str] = {}
+    for pair in key.split(","):
+        name, _, value = pair.partition("=")
+        labels[name] = value
+    return labels
+
+
+def format_labels(labels: dict[str, str]) -> str:
+    """``{k="v",...}`` in sorted key order; empty string for no labels."""
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{name}="{_escape_label_value(str(labels[name]))}"'
+        for name in sorted(labels))
+    return "{" + rendered + "}"
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _family(lines: list[str], name: str, kind: str,
+            help_text: str | None) -> None:
+    if help_text:
+        escaped = help_text.replace("\\", r"\\").replace("\n", r"\n")
+        lines.append(f"# HELP {name} {escaped}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(snapshot: dict[str, dict],
+                      help_texts: dict[str, str] | None = None) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    ``snapshot`` is :meth:`MetricsRegistry.snapshot` output (or the
+    ``observability.metrics`` section of a run manifest — same shape).
+    ``help_texts`` optionally maps registry metric names to ``# HELP``
+    strings (:meth:`MetricsRegistry.help_texts`).
+    """
+    help_texts = help_texts or {}
+    lines: list[str] = []
+    for metric_name in sorted(snapshot):
+        entry = snapshot[metric_name]
+        kind = entry.get("kind", "untyped")
+        series = entry.get("series", {})
+        base = sanitize_metric_name(metric_name)
+        help_text = help_texts.get(metric_name)
+
+        if kind == "counter":
+            _family(lines, f"{base}_total", "counter", help_text)
+            for key in sorted(series):
+                labels = format_labels(parse_label_key(key))
+                lines.append(f"{base}_total{labels} "
+                             f"{_format_value(series[key])}")
+        elif kind == "gauge":
+            _family(lines, base, "gauge", help_text)
+            for key in sorted(series):
+                labels = format_labels(parse_label_key(key))
+                lines.append(f"{base}{labels} "
+                             f"{_format_value(series[key])}")
+        elif kind == "histogram":
+            _family(lines, base, "summary", help_text)
+            for key in sorted(series):
+                stats = series[key]
+                labels = parse_label_key(key)
+                for field, quantile in _QUANTILE_LABELS.items():
+                    if field not in stats:
+                        continue
+                    quantile_labels = format_labels(
+                        {**labels, "quantile": quantile})
+                    lines.append(f"{base}{quantile_labels} "
+                                 f"{_format_value(stats[field])}")
+                plain = format_labels(labels)
+                lines.append(f"{base}_sum{plain} "
+                             f"{_format_value(stats.get('sum', 0.0))}")
+                lines.append(f"{base}_count{plain} "
+                             f"{_format_value(stats.get('count', 0))}")
+            for bound in ("min", "max"):
+                _family(lines, f"{base}_{bound}", "gauge", None)
+                for key in sorted(series):
+                    stats = series[key]
+                    if bound not in stats:
+                        continue
+                    plain = format_labels(parse_label_key(key))
+                    lines.append(f"{base}_{bound}{plain} "
+                                 f"{_format_value(stats[bound])}")
+        else:
+            _family(lines, base, "untyped", help_text)
+            for key in sorted(series):
+                labels = format_labels(parse_label_key(key))
+                lines.append(f"{base}{labels} "
+                             f"{_format_value(series[key])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registry(registry=None) -> str:
+    """Exposition text of the live process-wide registry (``/metrics``)."""
+    from repro.obs import metrics as metrics_module
+
+    registry = registry if registry is not None \
+        else metrics_module.get_registry()
+    return render_prometheus(registry.snapshot(), registry.help_texts())
+
+
+# --------------------------------------------------------------- validation
+_VALID_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def _parse_float(text: str) -> float | None:
+    if text in ("+Inf", "-Inf", "NaN"):
+        return {"+Inf": math.inf, "-Inf": -math.inf,
+                "NaN": math.nan}[text]
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _family_of(sample_name: str, declared: dict[str, str]) -> str:
+    """The declared family a sample belongs to (summary/histogram samples
+    carry ``_sum``/``_count``/``_bucket`` suffixes)."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix):
+            stem = sample_name[: -len(suffix)]
+            if declared.get(stem) in ("summary", "histogram"):
+                return stem
+    return sample_name
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Schema-check Prometheus exposition text; returns a problem list.
+
+    Dependency-free (no ``prometheus_client``) but strict about the
+    invariants a scraper relies on: sample-line grammar, legal metric
+    and label names, parseable values, at most one ``# TYPE`` per family
+    declared *before* its samples, families not interleaved, quantile
+    labels within [0, 1], and summary ``_count`` consistency with the
+    number of observations being non-negative.
+    """
+    problems: list[str] = []
+    declared: dict[str, str] = {}
+    finished: set[str] = set()
+    current_family: str | None = None
+    samples = 0
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                continue  # free-form comment: legal, ignored
+            if len(parts) < 3:
+                problems.append(f"line {line_no}: bare # {parts[1]}")
+                continue
+            name = parts[2]
+            if not _NAME_OK.match(name):
+                problems.append(
+                    f"line {line_no}: illegal metric name {name!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _VALID_TYPES:
+                    problems.append(
+                        f"line {line_no}: bad TYPE for {name}")
+                    continue
+                if name in declared:
+                    problems.append(
+                        f"line {line_no}: duplicate TYPE for {name}")
+                    continue
+                if name in finished or name == current_family:
+                    problems.append(
+                        f"line {line_no}: TYPE for {name} after its "
+                        "samples")
+                declared[name] = parts[3]
+            continue
+
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        value = _parse_float(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {line_no}: value {match.group('value')!r} "
+                "is not a number")
+
+        family = _family_of(name, declared)
+        if family != current_family:
+            if family in finished:
+                problems.append(
+                    f"line {line_no}: family {family} interleaved")
+            if current_family is not None:
+                finished.add(current_family)
+            current_family = family
+
+        labels_text = match.group("labels")
+        if labels_text:
+            consumed = _LABEL_PAIR.sub("", labels_text).replace(",", "")
+            if consumed.strip():
+                problems.append(
+                    f"line {line_no}: malformed labels {{{labels_text}}}")
+            for label_name, label_value in _LABEL_PAIR.findall(labels_text):
+                if not _LABEL_OK.match(label_name):
+                    problems.append(
+                        f"line {line_no}: illegal label name "
+                        f"{label_name!r}")
+                if label_name == "quantile":
+                    quantile = _parse_float(label_value)
+                    if quantile is None or not 0.0 <= quantile <= 1.0:
+                        problems.append(
+                            f"line {line_no}: quantile {label_value!r} "
+                            "outside [0, 1]")
+        if (name.endswith("_count")
+                and declared.get(family) in ("summary", "histogram")
+                and isinstance(value, float) and value < 0):
+            problems.append(f"line {line_no}: negative _count")
+        if (declared.get(family) == "counter"
+                and isinstance(value, float)
+                and not math.isnan(value) and value < 0):
+            problems.append(f"line {line_no}: negative counter {name}")
+
+    if samples == 0:
+        problems.append("no samples")
+    return problems

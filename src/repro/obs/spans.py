@@ -5,7 +5,8 @@ observability of *the reproduction* — where does a ``repro run`` spend its
 own wall-clock?  Hot paths (trace build, vectorized timing, breakdown
 aggregation, cache traffic, experiment lifecycle) open a :func:`span`
 around their work; when tracing is enabled, every span records its wall
-time, nesting (parent/depth) and a few key=value attributes.
+time, nesting (parent/depth), a ``trace_id`` connecting it to the request
+or experiment that caused it, and a few key=value attributes.
 
 Design constraints, in priority order:
 
@@ -13,27 +14,42 @@ Design constraints, in priority order:
   experiment, so the disabled path is a single attribute check returning a
   shared no-op context manager — the acceptance gate is <= 5% overhead on
   ``benchmarks/bench_profile_engine.py``.
-* **Thread safety.**  The active-span stack lives in ``threading.local``:
-  spans opened on different threads nest independently (the same fix
-  satellite work applies to :mod:`repro.runner.telemetry`).  The finished
-  list is guarded by a lock.
+* **Context propagation.**  The active-span stack lives in a
+  ``contextvars.ContextVar``: spans opened on different threads or asyncio
+  tasks nest independently (each thread/task has its own context), and —
+  unlike the original ``threading.local`` stack — the context can be
+  *carried* across execution boundaries.  ``contextvars.copy_context()``
+  hands a worker thread the caller's open stack (the serve executor does
+  exactly this), and :meth:`SpanTracer.current_context` /
+  :meth:`SpanTracer.attach` snapshot/replay a :class:`TraceContext` into
+  places a context object cannot reach (worker *processes*).
 * **Nestable and scoped.**  :meth:`SpanTracer.capture` bounds a recording
   scope (the executor opens one per experiment) and returns the spans
   finished inside it, so parallel workers each dump their own spans into
   their :class:`~repro.runner.executor.ExperimentResult`.
 
 Spans are plain data afterwards: :func:`aggregate_spans` folds them into
-the per-name summary stored in run manifests, and
+the per-name summary stored in run manifests,
 :func:`repro.obs.timeline_export.spans_to_chrome_trace` lays the raw spans
-out on a Perfetto-loadable timeline.
+out on a Perfetto-loadable timeline, and the serve flight recorder
+(:mod:`repro.obs.flight`) groups them per ``trace_id`` into one request
+tree.
 """
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import functools
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (one per root span / request)."""
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass
@@ -49,6 +65,10 @@ class Span:
         span_id: id unique within one tracer.
         parent_id: enclosing span's ``span_id``, or ``-1`` at the root.
         depth: nesting depth (root spans are 0).
+        trace_id: id shared by every span of one request/experiment tree;
+            generated at the root, inherited by children (including
+            across thread, task and process boundaries via
+            :class:`TraceContext`).
         attrs: small JSON-able key=value payload.
     """
 
@@ -60,6 +80,7 @@ class Span:
     span_id: int = 0
     parent_id: int = -1
     depth: int = 0
+    trace_id: str = ""
     attrs: dict = field(default_factory=dict)
 
     @property
@@ -76,8 +97,36 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "depth": self.depth,
+            "trace_id": self.trace_id,
             "attrs": dict(self.attrs),
         }
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A serializable snapshot of the active trace position.
+
+    Small enough to pickle into a worker process (``repro run all
+    --jobs N``) or stash in a manifest: spans opened under
+    :meth:`SpanTracer.attach` of this context join trace ``trace_id``
+    as children of ``span_id``.  ``span_id == -1`` parents new spans at
+    the root of the trace (used when only the id itself is being
+    propagated, e.g. one pre-assigned trace id per experiment).
+    """
+
+    trace_id: str
+    span_id: int = -1
+    depth: int = -1
+
+    def as_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "depth": self.depth}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        return cls(trace_id=str(payload["trace_id"]),
+                   span_id=int(payload.get("span_id", -1)),
+                   depth=int(payload.get("depth", -1)))
 
 
 class _NoopSpan:
@@ -115,14 +164,22 @@ class SpanTracer:
     """A collector of nested spans.
 
     Disabled by default; :meth:`capture` (or :meth:`enable`) turns it on.
-    All mutating operations are thread-safe.
+    All mutating operations are thread-safe.  The active-span stack is an
+    immutable tuple held in a ``ContextVar``, so concurrent asyncio tasks
+    (which copy their parent's context) never mutate each other's stack.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._local = threading.local()
+        self._stack_var: contextvars.ContextVar[tuple[Span, ...]] = \
+            contextvars.ContextVar("repro_span_stack", default=())
+        self._ambient_var: contextvars.ContextVar[TraceContext | None] = \
+            contextvars.ContextVar("repro_trace_context", default=None)
         self._finished: list[Span] = []
+        self._sinks: list = []
         self._enabled = False
+        self._retain = True
+        self._captures = 0
         self._next_id = 0
 
     # ------------------------------------------------------------- lifecycle
@@ -130,11 +187,21 @@ class SpanTracer:
     def enabled(self) -> bool:
         return self._enabled
 
-    def enable(self) -> None:
+    def enable(self, *, retain: bool = True) -> None:
+        """Turn tracing on.
+
+        ``retain=False`` keeps the tracer from accumulating finished
+        spans in its internal list — spans are delivered to sinks only.
+        A long-running server enables with ``retain=False`` so memory
+        stays bounded; :meth:`capture` scopes still collect (the scope
+        itself forces retention while open).
+        """
         self._enabled = True
+        self._retain = retain
 
     def disable(self) -> None:
         self._enabled = False
+        self._retain = True
 
     def reset(self) -> list[Span]:
         """Drain and return every finished span."""
@@ -142,13 +209,24 @@ class SpanTracer:
             spans, self._finished = self._finished, []
         return spans
 
-    # ---------------------------------------------------------------- spans
-    def _stack(self) -> list[Span]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    # ---------------------------------------------------------------- sinks
+    def add_sink(self, sink) -> None:
+        """Register ``sink(span)`` to be called as each span finishes.
 
+        Sinks see every finished span regardless of retention or capture
+        scopes (the flight recorder groups them per ``trace_id``).  A
+        raising sink is dropped from the delivery, never the caller.
+        """
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    # ---------------------------------------------------------------- spans
     def span(self, name: str, category: str = "repro", **attrs):
         """Open a span; use as ``with tracer.span("trace.build"): ...``.
 
@@ -157,8 +235,22 @@ class SpanTracer:
         """
         if not self._enabled:
             return _NOOP
-        stack = self._stack()
+        stack = self._stack_var.get()
         parent = stack[-1] if stack else None
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            depth = parent.depth + 1
+        else:
+            ambient = self._ambient_var.get()
+            if ambient is not None:
+                trace_id = ambient.trace_id
+                parent_id = ambient.span_id
+                depth = ambient.depth + 1
+            else:
+                trace_id = new_trace_id()
+                parent_id = -1
+                depth = 0
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
@@ -166,28 +258,33 @@ class SpanTracer:
             name=name, category=category,
             start_s=time.perf_counter(), end_s=0.0,
             thread_id=threading.get_ident(), span_id=span_id,
-            parent_id=parent.span_id if parent is not None else -1,
-            depth=parent.depth + 1 if parent is not None else 0,
+            parent_id=parent_id, depth=depth, trace_id=trace_id,
             attrs=attrs)
-        stack.append(record)
+        self._stack_var.set(stack + (record,))
         return _ActiveSpan(self, record)
 
     def _finish(self, span: Span) -> None:
         span.end_s = time.perf_counter()
-        stack = self._stack()
+        stack = self._stack_var.get()
         if stack and stack[-1] is span:
-            stack.pop()
-        else:  # mis-nested exit (generator abandoned mid-span): drop it
-            try:
-                stack.remove(span)
-            except ValueError:
-                pass
+            self._stack_var.set(stack[:-1])
+        elif any(open_span is span for open_span in stack):
+            # Mis-nested exit (generator abandoned mid-span): drop it.
+            self._stack_var.set(
+                tuple(s for s in stack if s is not span))
         with self._lock:
-            self._finished.append(span)
+            if self._retain or self._captures:
+                self._finished.append(span)
+            sinks = tuple(self._sinks)
+        for sink in sinks:
+            try:
+                sink(span)
+            except Exception:
+                pass
 
     def current(self) -> Span | None:
-        """The innermost open span on this thread, if any."""
-        stack = self._stack()
+        """The innermost open span in this context, if any."""
+        stack = self._stack_var.get()
         return stack[-1] if stack else None
 
     def annotate(self, **attrs) -> None:
@@ -195,6 +292,36 @@ class SpanTracer:
         span = self.current()
         if span is not None:
             span.attrs.update(attrs)
+
+    # ------------------------------------------------------ trace contexts
+    def current_context(self) -> TraceContext | None:
+        """Snapshot of the active trace position, or ``None`` outside one.
+
+        The snapshot is plain data — pickle it into a worker process and
+        :meth:`attach` it there so the worker's spans join this trace.
+        """
+        stack = self._stack_var.get()
+        if stack:
+            innermost = stack[-1]
+            return TraceContext(trace_id=innermost.trace_id,
+                                span_id=innermost.span_id,
+                                depth=innermost.depth)
+        return self._ambient_var.get()
+
+    @contextlib.contextmanager
+    def attach(self, context: TraceContext):
+        """Replay a :class:`TraceContext`: root spans opened inside the
+        ``with`` block parent to it instead of starting a new trace.
+
+        Open spans already on the stack win over the attached context
+        (attachment only matters where the stack is empty — a fresh
+        thread, task or process).
+        """
+        token = self._ambient_var.set(context)
+        try:
+            yield context
+        finally:
+            self._ambient_var.reset(token)
 
     # -------------------------------------------------------------- scoping
     def capture(self) -> "_CaptureScope":
@@ -220,17 +347,23 @@ class _CaptureScope:
         self._was_enabled = self._tracer.enabled
         with self._tracer._lock:
             self._start_index = len(self._tracer._finished)
-        self._tracer.enable()
+            self._tracer._captures += 1
+        if not self._was_enabled:
+            self._tracer._enabled = True
         return self
 
     def __exit__(self, *exc_info) -> None:
         if not self._was_enabled:
-            self._tracer.disable()
+            self._tracer._enabled = False
         with self._tracer._lock:
+            self._tracer._captures -= 1
             self.spans = self._tracer._finished[self._start_index:]
-            if not self._was_enabled:
-                # Outermost scope: drain what it (and any inner scopes)
-                # recorded so the next capture starts clean.
+            if self._tracer._captures == 0 and not (
+                    self._was_enabled and self._tracer._retain):
+                # Outermost scope over a tracer that would not itself
+                # have retained these spans (disabled, or enabled in
+                # retain=False server mode): drain so the next capture
+                # starts clean and server memory stays bounded.
                 del self._tracer._finished[self._start_index:]
 
 
@@ -254,6 +387,16 @@ def annotate(**attrs) -> None:
     """Attach attributes to the innermost open span, if tracing is on."""
     if _tracer._enabled:
         _tracer.annotate(**attrs)
+
+
+def current_context() -> TraceContext | None:
+    """Snapshot the process-wide tracer's active trace position."""
+    return _tracer.current_context()
+
+
+def attach(context: TraceContext):
+    """Replay a trace context on the process-wide tracer."""
+    return _tracer.attach(context)
 
 
 def traced(name: str | None = None, category: str = "repro"):

@@ -16,6 +16,15 @@ metric deltas, and — where the experiment's rows self-report a pass/fail
 verdict (Table 1's takeaway checks) — a paper-band summary.  This works
 identically in ``--jobs N`` worker processes: each worker's registry
 starts empty and the deltas ride home in the pickled result.
+
+Every experiment in a batch is additionally assigned a ``trace_id`` *by
+the parent* before dispatch: the id rides into the worker process as a
+pickled :class:`~repro.obs.spans.TraceContext` and is replayed there via
+:meth:`~repro.obs.spans.SpanTracer.attach`, so the worker's root span
+(``experiment.<id>``) — and every engine span under it — joins the trace
+the parent named.  The id is stamped on the :class:`ExperimentResult`
+and therefore into the run manifest, giving ``repro run all --jobs N``
+per-experiment trace ids that correlate manifests with span dumps.
 """
 
 from __future__ import annotations
@@ -45,6 +54,8 @@ class ExperimentResult:
         spans: per-span-name ``{count, total_s, max_s}`` summary of the
             spans recorded while the experiment ran.
         metrics: metrics-registry delta (what this experiment changed).
+        trace_id: trace id every span of this experiment carries
+            (pre-assigned by the batch parent, or generated locally).
     """
 
     experiment_id: str
@@ -56,6 +67,7 @@ class ExperimentResult:
     bands: dict[str, int] | None = None
     spans: dict[str, dict] = field(default_factory=dict)
     metrics: dict[str, dict] = field(default_factory=dict)
+    trace_id: str = ""
 
     def as_dict(self) -> dict:
         return {
@@ -66,6 +78,7 @@ class ExperimentResult:
             "bands": self.bands,
             "spans": self.spans,
             "metrics": self.metrics,
+            "trace_id": self.trace_id,
             **self.counters,
         }
 
@@ -82,8 +95,8 @@ def _band_summary(result: object) -> dict[str, int] | None:
             "failed": len(verdicts) - sum(verdicts)}
 
 
-def run_one(experiment_id: str,
-            use_result_cache: bool = True) -> ExperimentResult:
+def run_one(experiment_id: str, use_result_cache: bool = True,
+            trace_context: dict | None = None) -> ExperimentResult:
     """Run a single registered experiment under telemetry, never raising.
 
     Successful results (rendered output + band verdicts) are stored in
@@ -91,9 +104,23 @@ def run_one(experiment_id: str,
     of the *entire* package source, so an unchanged tree replays ``run
     all`` from disk while any source edit recomputes everything.
     Failures are never cached.
+
+    ``trace_context`` is a pickled :class:`~repro.obs.spans.TraceContext`
+    (its ``as_dict`` form — dicts cross the process boundary without the
+    receiving side importing anything first).  When given, it is replayed
+    with :meth:`~repro.obs.spans.SpanTracer.attach` so every span this
+    experiment opens joins the caller's trace; when absent a fresh trace
+    id is generated locally.
     """
     from repro.experiments.registry import REGISTRY
     from repro.runner.cache import get_cache
+
+    if isinstance(trace_context, dict):
+        context = spans.TraceContext.from_dict(trace_context)
+    elif isinstance(trace_context, spans.TraceContext):
+        context = trace_context
+    else:
+        context = spans.TraceContext(trace_id=spans.new_trace_id())
 
     started = time.perf_counter()
     registry = metrics.get_registry()
@@ -114,12 +141,14 @@ def run_one(experiment_id: str,
                     counters={"experiment_cached": 1},
                     bands=payload.get("bands"),
                     metrics=metrics.diff_snapshots(before,
-                                                   registry.snapshot()))
+                                                   registry.snapshot()),
+                    trace_id=context.trace_id)
 
     with spans.get_tracer().capture() as scope, \
             telemetry.collect() as counters:
-        with spans.span(f"experiment.{experiment_id}",
-                        category="experiment"):
+        with spans.attach(context), \
+                spans.span(f"experiment.{experiment_id}",
+                           category="experiment"):
             try:
                 experiment = REGISTRY[experiment_id]
                 result = experiment.run()
@@ -129,7 +158,8 @@ def run_one(experiment_id: str,
                     experiment_id=experiment_id, ok=False,
                     error=traceback.format_exc(),
                     duration_s=time.perf_counter() - started,
-                    counters=counters.as_dict())
+                    counters=counters.as_dict(),
+                    trace_id=context.trace_id)
     bands = _band_summary(result)
     if cache_key is not None:
         cache.put_payload(cache_key, {"output": output, "bands": bands})
@@ -144,7 +174,8 @@ def run_one(experiment_id: str,
         counters={**counters.as_dict(), "experiment_cached": 0},
         bands=bands,
         spans=spans.aggregate_spans(scope.spans),
-        metrics=metrics.diff_snapshots(before, registry.snapshot()))
+        metrics=metrics.diff_snapshots(before, registry.snapshot()),
+        trace_id=context.trace_id)
 
 
 def run_experiments(experiment_ids: list[str], jobs: int = 1,
@@ -161,15 +192,21 @@ def run_experiments(experiment_ids: list[str], jobs: int = 1,
             cache; pass ``False`` (CLI ``--fresh``) to force recompute.
 
     One experiment failing — even a worker process dying — never aborts
-    the rest of the batch.
+    the rest of the batch.  Trace ids are assigned here, in the parent,
+    one per experiment: the cached-result short circuit, a worker death
+    and a completed run all report the same pre-assigned id, so the
+    manifest always correlates.
     """
+    contexts = {eid: spans.TraceContext(trace_id=spans.new_trace_id())
+                for eid in experiment_ids}
     if jobs <= 1 or len(experiment_ids) <= 1:
-        return [run_one(eid, use_result_cache)
+        return [run_one(eid, use_result_cache, contexts[eid].as_dict())
                 for eid in experiment_ids]
 
     results: dict[str, ExperimentResult] = {}
     with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {pool.submit(run_one, eid, use_result_cache): eid
+        futures = {pool.submit(run_one, eid, use_result_cache,
+                               contexts[eid].as_dict()): eid
                    for eid in experiment_ids}
         for future in concurrent.futures.as_completed(futures):
             eid = futures[future]
@@ -180,5 +217,6 @@ def run_experiments(experiment_ids: list[str], jobs: int = 1,
                 # failure): record it like any other experiment failure.
                 results[eid] = ExperimentResult(
                     experiment_id=eid, ok=False,
-                    error=traceback.format_exc())
+                    error=traceback.format_exc(),
+                    trace_id=contexts[eid].trace_id)
     return [results[eid] for eid in experiment_ids]

@@ -9,7 +9,9 @@ The serving stack, innermost out:
 * :mod:`repro.serve.coalesce` — :class:`Coalescer`, single-flight
   sharing of concurrent identical computations;
 * :mod:`repro.serve.app` — :class:`App`, routing + worker pool +
-  load shedding + per-request telemetry;
+  load shedding + per-request telemetry (trace-context propagation into
+  the pool, ``/metrics`` Prometheus exposition, flight-recorder debug
+  endpoints);
 * :mod:`repro.serve.http` — the asyncio HTTP/1.1 transport behind
   ``repro serve``.
 

@@ -18,18 +18,27 @@ Request lifecycle for the cacheable routes (``/profile``, ``/perfetto``,
 
 Every request increments ``serve.requests{route=,status=}`` and observes
 ``serve.request_seconds{route=}`` (whose ``p50``/``p99`` feed ``/stats``
-and the load harness); when span tracing is enabled each request also
-opens a ``serve.request`` span.
+and the load harness).  Each request also opens a ``serve.request`` span
+under a fresh ``trace_id``; the open span stack is *carried into the
+worker pool* via ``contextvars.copy_context()``, so the engine spans the
+compute opens (``profile.run → trace.build → ... → hw.*``) parent to the
+leader's request span and the whole request is one connected tree.  The
+:class:`~repro.obs.flight.FlightRecorder` (installed as a tracer sink)
+groups that tree per trace id into a bounded ring served by the
+``/debug/requests`` and ``/debug/trace/<trace_id>`` endpoints, and
+``GET /metrics`` exposes the registry in Prometheus text format.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.obs import metrics, spans
+from repro.obs import metrics, prometheus, spans
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder, build_span_tree
 from repro.serve.coalesce import Coalescer
 from repro.serve.hot_cache import HotCache
 from repro.serve.service import ProfilingService, render_json
@@ -85,7 +94,10 @@ class App:
     def __init__(self, service: ProfilingService | None = None, *,
                  workers: int = DEFAULT_WORKERS,
                  queue_limit: int = DEFAULT_QUEUE_LIMIT,
-                 hot_cache: HotCache | None = None):
+                 hot_cache: HotCache | None = None,
+                 flight: FlightRecorder | None = None,
+                 flight_capacity: int = DEFAULT_CAPACITY,
+                 event_log: str | None = None):
         if workers <= 0:
             raise ValueError("workers must be positive")
         if queue_limit <= 0:
@@ -99,10 +111,14 @@ class App:
             max_workers=workers, thread_name_prefix="repro-serve")
         self.inflight = 0
         self.started = time.monotonic()
+        self.flight = flight if flight is not None else FlightRecorder(
+            capacity=flight_capacity, event_log=event_log)
+        self.flight.install(spans.get_tracer())
 
     def close(self) -> None:
-        """Stop the worker pool (idempotent)."""
+        """Stop the worker pool and detach the recorder (idempotent)."""
         self.executor.shutdown(wait=False, cancel_futures=True)
+        self.flight.uninstall()
 
     # ---------------------------------------------------------------- handle
     async def handle(self, method: str, path: str,
@@ -110,23 +126,43 @@ class App:
         """Serve one request; never raises (errors become 4xx/5xx JSON)."""
         start = time.perf_counter()
         route = "unknown"
+        trace_id = ""
+        meta = {"cache": "none"}
         with spans.span("serve.request", category="serve", method=method,
-                        path=path):
+                        path=path) as request_span:
+            if request_span is not None:
+                trace_id = request_span.trace_id
+                self.flight.begin(trace_id)
             try:
-                route, response = await self._route(method, path, body)
+                route, response = await self._route(method, path, body, meta)
             except Exception as error:  # the server must outlive any bug
                 response = _error(500, f"{type(error).__name__}: {error}")
-            spans.annotate(route=route, status=response.status)
+            spans.annotate(route=route, status=response.status,
+                           cache=meta["cache"])
+        duration_s = time.perf_counter() - start
         _REQUESTS.inc(route=route, status=response.status)
-        _LATENCY.observe(time.perf_counter() - start, route=route)
+        _LATENCY.observe(duration_s, route=route)
+        if trace_id:
+            response.headers.setdefault("X-Trace-Id", trace_id)
+            self.flight.complete(
+                trace_id, route=route, method=method, path=path,
+                status=response.status, duration_s=duration_s,
+                cache=meta["cache"])
         return response
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> tuple[str, Response]:
+    async def _route(self, method: str, path: str, body: bytes,
+                     meta: dict) -> tuple[str, Response]:
         if path == "/healthz":
             return "healthz", self._healthz(method)
         if path == "/stats":
             return "stats", self._stats(method)
+        if path == "/metrics":
+            return "metrics", self._metrics(method)
+        if path == "/debug/requests":
+            return "debug", self._debug_requests(method)
+        if path.startswith("/debug/trace/"):
+            return "debug", self._debug_trace(
+                method, path[len("/debug/trace/"):])
         if path == "/points":
             if method != "GET":
                 return "points", _error(405, "use GET")
@@ -135,16 +171,17 @@ class App:
         if path.startswith("/profile/"):
             return "profile", await self._point_route(
                 method, "profile", path[len("/profile/"):],
-                self.service.profile_payload)
+                self.service.profile_payload, meta)
         if path.startswith("/perfetto/"):
             return "perfetto", await self._point_route(
                 method, "perfetto", path[len("/perfetto/"):],
-                self.service.perfetto_payload)
+                self.service.perfetto_payload, meta)
         if path == "/grid":
-            return "grid", await self._grid(method, body)
+            return "grid", await self._grid(method, body, meta)
         return "unknown", _error(404, f"no route for {path!r}", routes=[
-            "/healthz", "/stats", "/points", "/profile/<point>",
-            "/perfetto/<point>", "/grid"])
+            "/healthz", "/stats", "/metrics", "/points",
+            "/profile/<point>", "/perfetto/<point>", "/grid",
+            "/debug/requests", "/debug/trace/<trace_id>"])
 
     # ---------------------------------------------------------------- routes
     def _healthz(self, method: str) -> Response:
@@ -165,12 +202,48 @@ class App:
             "queue_limit": self.queue_limit,
             "inflight": self.inflight,
             "hot_cache": self.hot.snapshot(),
+            "requests_by_route": _requests_by_route(snapshot),
+            "route_latency": _route_latency(snapshot),
+            "flight": self.flight.snapshot(),
             "metrics": snapshot,
             "hit_rates": metrics.hit_rates(snapshot),
         })
 
+    def _metrics(self, method: str) -> Response:
+        if method != "GET":
+            return _error(405, "use GET")
+        text = prometheus.render_registry()
+        return Response(200, text.encode(),
+                        content_type=prometheus.CONTENT_TYPE)
+
+    def _debug_requests(self, method: str) -> Response:
+        if method != "GET":
+            return _error(405, "use GET")
+        return _json_response(200, {
+            "flight": self.flight.snapshot(),
+            "requests": [record.summary()
+                         for record in self.flight.records()],
+        })
+
+    def _debug_trace(self, method: str, trace_id: str) -> Response:
+        if method != "GET":
+            return _error(405, "use GET")
+        record = self.flight.lookup(trace_id)
+        if record is None:
+            return _error(404, f"trace {trace_id!r} not in the flight "
+                          "recorder (expired or never recorded)",
+                          held=self.flight.snapshot()["held"])
+        from repro.obs.flight import spans_from_dicts
+        from repro.obs.timeline_export import spans_to_chrome_trace
+        return _json_response(200, {
+            **record.as_dict(),
+            "tree": build_span_tree(record.spans),
+            "perfetto": spans_to_chrome_trace(
+                spans_from_dicts(record.spans)),
+        })
+
     async def _point_route(self, method: str, route: str, point: str,
-                           payload_of) -> Response:
+                           payload_of, meta: dict) -> Response:
         if method != "GET":
             return _error(405, "use GET")
         try:
@@ -179,9 +252,10 @@ class App:
             from repro.experiments.points import POINT_REGISTRY
             return _error(404, f"unknown operating point {point!r}",
                           valid=sorted(POINT_REGISTRY))
-        return await self._cached(route, key, lambda: payload_of(point))
+        return await self._cached(route, key, lambda: payload_of(point),
+                                  meta)
 
-    async def _grid(self, method: str, body: bytes) -> Response:
+    async def _grid(self, method: str, body: bytes, meta: dict) -> Response:
         if method != "POST":
             return _error(405, "POST a grid spec")
         import json as json_mod
@@ -195,13 +269,16 @@ class App:
             return _error(400, str(error))
         key = self.service.grid_cache_key(model, trainings)
         return await self._cached(
-            "grid", key, lambda: self.service.grid_payload(model, trainings))
+            "grid", key, lambda: self.service.grid_payload(model, trainings),
+            meta)
 
     # ----------------------------------------------------- cache + coalesce
-    async def _cached(self, route: str, key: str, compute) -> Response:
+    async def _cached(self, route: str, key: str, compute,
+                      meta: dict) -> Response:
         """Hot cache -> coalesce -> shed -> worker pool, in that order."""
         cached = self.hot.get(key)
         if cached is not None:
+            meta["cache"] = "hot"
             return Response(200, cached)
 
         # No awaits between the leadership check and Coalescer.run:
@@ -209,20 +286,30 @@ class App:
         if self.coalescer.leader(key):
             if self.inflight >= self.queue_limit:
                 _SHED.inc(route=route)
+                meta["cache"] = "shed"
                 shed = _error(503, "profiling queue is full, retry shortly",
                               retry_after_s=RETRY_AFTER_S)
                 shed.headers["Retry-After"] = str(RETRY_AFTER_S)
                 return shed
+            meta["cache"] = "computed"
             self.inflight += 1
             _INFLIGHT.set(self.inflight)
+        else:
+            meta["cache"] = "coalesced"
 
         loop = asyncio.get_running_loop()
 
         async def leader_compute() -> bytes:
             try:
                 _COMPUTATIONS.inc(route=route)
+                # Carry the open span stack (the leader's serve.request
+                # span) into the worker thread: engine spans opened by
+                # the compute parent into the request's trace instead of
+                # starting orphan traces.
+                context = contextvars.copy_context()
                 rendered = await loop.run_in_executor(
-                    self.executor, lambda: render_json(compute()))
+                    self.executor,
+                    lambda: context.run(lambda: render_json(compute())))
             finally:
                 self.inflight -= 1
                 _INFLIGHT.set(self.inflight)
@@ -234,3 +321,39 @@ class App:
         except Exception as error:
             return _error(500, f"{type(error).__name__}: {error}")
         return Response(200, body)
+
+
+# -------------------------------------------------- derived /stats sections
+def _requests_by_route(snapshot: dict) -> dict:
+    """Fold ``serve.requests{route=,status=}`` into per-route totals."""
+    from repro.obs.prometheus import parse_label_key
+
+    by_route: dict[str, dict] = {}
+    series = snapshot.get("serve.requests", {}).get("series", {})
+    for key, count in series.items():
+        labels = parse_label_key(key)
+        route = labels.get("route", "unknown")
+        entry = by_route.setdefault(route, {"total": 0, "by_status": {}})
+        entry["total"] += count
+        status = labels.get("status", "?")
+        entry["by_status"][status] = \
+            entry["by_status"].get(status, 0) + count
+    return {route: by_route[route] for route in sorted(by_route)}
+
+
+def _route_latency(snapshot: dict) -> dict:
+    """Per-route latency summaries (ms) from ``serve.request_seconds``."""
+    from repro.obs.prometheus import parse_label_key
+
+    latency: dict[str, dict] = {}
+    series = snapshot.get("serve.request_seconds", {}).get("series", {})
+    for key, stats in series.items():
+        route = parse_label_key(key).get("route", "unknown")
+        latency[route] = {
+            "count": stats["count"],
+            "mean_ms": round(stats["sum"] / stats["count"] * 1e3, 3)
+            if stats["count"] else 0.0,
+            **{f"{q}_ms": round(stats[q] * 1e3, 3)
+               for q in ("p50", "p90", "p99") if q in stats},
+        }
+    return {route: latency[route] for route in sorted(latency)}

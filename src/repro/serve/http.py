@@ -138,8 +138,12 @@ def run_server(app: App, host: str = "127.0.0.1", port: int = 8321) -> None:
         print(f"repro serve: listening on http://{bound_host}:{bound_port} "
               f"(workers={app.workers}, queue_limit={app.queue_limit}, "
               f"hot_cache={app.hot.capacity_bytes // (1024 * 1024)}MB)")
-        print("endpoints: /healthz /stats /points /profile/<point> "
-              "/perfetto/<point> POST /grid")
+        print("endpoints: /healthz /stats /metrics /points "
+              "/profile/<point> /perfetto/<point> POST /grid "
+              "/debug/requests /debug/trace/<trace_id>")
+        if app.flight.event_log_path is not None:
+            print(f"event log: {app.flight.event_log_path} "
+                  "(inspect with `repro flight`)")
         async with server:
             await server.serve_forever()
 

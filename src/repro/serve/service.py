@@ -29,6 +29,7 @@ from repro.config import (BERT_BASE, BERT_LARGE, BERT_TINY, C1, C2, C3,
                           BertConfig, Precision, TrainingConfig)
 from repro.experiments.common import default_device, run_point
 from repro.experiments.points import POINT_REGISTRY
+from repro.obs import spans
 from repro.hw.device import DeviceModel
 from repro.profiler.breakdown import (component_breakdown, region_breakdown,
                                       summarize, transformer_breakdown)
@@ -115,7 +116,13 @@ class ProfilingService:
         against those direct calls.
         """
         model, training = POINT_REGISTRY[point]
-        _, profile = run_point(model, training, self.device)
+        with spans.span("profile.run", category="serve", point=point):
+            _, profile = run_point(model, training, self.device)
+            payload = self._profile_payload_of(point, model, training,
+                                               profile)
+        return payload
+
+    def _profile_payload_of(self, point, model, training, profile) -> dict:
         return {
             "point": point,
             "model": {
@@ -151,9 +158,10 @@ class ProfilingService:
         from repro.obs.timeline_export import profile_to_chrome_trace
 
         model, training = POINT_REGISTRY[point]
-        _, profile = run_point(model, training, self.device)
-        return profile_to_chrome_trace(
-            profile, label=f"{model.name} {training.label}")
+        with spans.span("perfetto.run", category="serve", point=point):
+            _, profile = run_point(model, training, self.device)
+            return profile_to_chrome_trace(
+                profile, label=f"{model.name} {training.label}")
 
     def parse_grid_spec(self, spec: dict
                         ) -> tuple[BertConfig, list[TrainingConfig]]:
@@ -195,7 +203,9 @@ class ProfilingService:
         """``POST /grid``: a sweep priced through the batched grid engine."""
         from repro.experiments.sweeps import grid_sweep
 
-        rows = grid_sweep(model, trainings, self.device)
+        with spans.span("grid.run", category="serve", model=model.name,
+                        points=len(trainings)):
+            rows = grid_sweep(model, trainings, self.device)
         return {
             "model": model.name,
             "device": self.device.name,

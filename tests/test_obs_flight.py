@@ -1,0 +1,202 @@
+"""Flight recorder (:mod:`repro.obs.flight`): ring, sink, event log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.flight import (FlightRecorder, build_span_tree,
+                              read_event_log, render_flight_table,
+                              render_trace_tree, spans_from_dicts)
+from repro.obs.spans import Span, SpanTracer
+
+
+@pytest.fixture
+def tracer():
+    return SpanTracer()
+
+
+@pytest.fixture
+def recorder(tracer):
+    recorder = FlightRecorder(capacity=4)
+    recorder.install(tracer)
+    yield recorder
+    recorder.uninstall()
+
+
+def drive_request(tracer, recorder, trace_id_holder=None, **complete_kw):
+    """One request through the begin -> spans -> complete lifecycle."""
+    with tracer.span("serve.request", category="serve") as request_span:
+        recorder.begin(request_span.trace_id)
+        with tracer.span("profile.run"):
+            pass
+    keywords = dict(route="profile", method="GET", path="/profile/x",
+                    status=200, duration_s=0.01, cache="computed")
+    keywords.update(complete_kw)
+    if trace_id_holder is not None:
+        trace_id_holder.append(request_span.trace_id)
+    return recorder.complete(request_span.trace_id, **keywords)
+
+
+class TestRecorderLifecycle:
+    def test_watched_spans_are_buffered_into_the_record(self, tracer,
+                                                        recorder):
+        record = drive_request(tracer, recorder)
+        assert record.route == "profile"
+        assert record.cache == "computed"
+        assert [s["name"] for s in record.spans] == ["profile.run",
+                                                     "serve.request"]
+        assert len({s["trace_id"] for s in record.spans}) == 1
+
+    def test_unwatched_spans_are_dropped(self, tracer, recorder):
+        with tracer.span("background.noise"):
+            pass
+        assert recorder.snapshot()["dropped_spans"] == 1
+        assert recorder.records() == []
+
+    def test_spans_after_complete_are_dropped(self, tracer, recorder):
+        """A straggler finishing after the record sealed (client hung
+        up) must not leak into the pending map."""
+        from repro.obs.spans import TraceContext
+
+        record = drive_request(tracer, recorder)
+        with tracer.attach(TraceContext(trace_id=record.trace_id)):
+            with tracer.span("late"):
+                pass
+        assert recorder.snapshot()["dropped_spans"] >= 1
+        assert recorder.snapshot()["pending"] == 0
+        assert len(record.spans) == 2
+
+    def test_ring_is_bounded_and_newest_first(self, tracer, recorder):
+        ids = []
+        for index in range(6):
+            drive_request(tracer, recorder, trace_id_holder=ids,
+                          path=f"/profile/{index}")
+        records = recorder.records()
+        assert len(records) == 4  # capacity
+        assert [r.trace_id for r in records] == ids[::-1][:4]
+        assert recorder.lookup(ids[0]) is None  # evicted
+        assert recorder.lookup(ids[-1]).path == "/profile/5"
+        snapshot = recorder.snapshot()
+        assert snapshot["recorded"] == 6 and snapshot["held"] == 4
+
+    def test_install_enables_tracing_without_retention(self, tracer,
+                                                       recorder):
+        assert tracer.enabled
+        drive_request(tracer, recorder)
+        assert tracer.reset() == []  # server mode: nothing accumulates
+
+    def test_uninstall_restores_prior_tracer_state(self, tracer):
+        recorder = FlightRecorder()
+        recorder.install(tracer)
+        assert tracer.enabled
+        recorder.uninstall()
+        assert not tracer.enabled
+        with tracer.span("after"):
+            pass
+        assert tracer.reset() == []  # disabled again, sink removed
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_summary_counts_spans_without_inlining_them(self, tracer,
+                                                        recorder):
+        record = drive_request(tracer, recorder)
+        summary = record.summary()
+        assert summary["spans"] == 2
+        assert summary["span_names"] == ["profile.run", "serve.request"]
+        assert summary["duration_ms"] == 10.0
+        assert "children" not in summary
+
+
+class TestEventLog:
+    def test_jsonl_append_and_read_back(self, tracer, tmp_path):
+        log = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(capacity=4, event_log=log)
+        recorder.install(tracer)
+        try:
+            drive_request(tracer, recorder)
+            drive_request(tracer, recorder, status=503, cache="shed")
+        finally:
+            recorder.uninstall()
+        records = read_event_log(log)
+        assert len(records) == 2
+        assert records[0]["route"] == "profile"
+        assert records[1]["status"] == 503
+        assert all(isinstance(r["spans"], list) for r in records)
+
+    def test_bad_lines_are_skipped(self, tmp_path):
+        log = tmp_path / "flight.jsonl"
+        log.write_text('not json\n{"no_trace": 1}\n'
+                       '{"trace_id": "ab", "route": "profile"}\n\n')
+        records = read_event_log(log)
+        assert len(records) == 1
+        assert records[0]["trace_id"] == "ab"
+
+
+class TestSpanTrees:
+    def _spans(self):
+        return [
+            {"name": "serve.request", "span_id": 1, "parent_id": -1,
+             "start_s": 0.0, "duration_s": 1.0, "depth": 0,
+             "trace_id": "t", "attrs": {}},
+            {"name": "profile.run", "span_id": 2, "parent_id": 1,
+             "start_s": 0.1, "duration_s": 0.8, "depth": 1,
+             "trace_id": "t", "attrs": {}},
+            {"name": "timing.kernel_times", "span_id": 3, "parent_id": 2,
+             "start_s": 0.2, "duration_s": 0.5, "depth": 2,
+             "trace_id": "t", "attrs": {"kernels": 7}},
+        ]
+
+    def test_build_span_tree_nests_by_parent_id(self):
+        (root,) = build_span_tree(self._spans())
+        assert root["name"] == "serve.request"
+        (child,) = root["children"]
+        assert child["name"] == "profile.run"
+        assert child["children"][0]["name"] == "timing.kernel_times"
+
+    def test_foreign_parents_surface_as_extra_roots(self):
+        spans = self._spans()
+        spans.append({"name": "worker.orphan", "span_id": 9,
+                      "parent_id": 777, "start_s": 0.3,
+                      "duration_s": 0.1, "depth": 0, "trace_id": "t",
+                      "attrs": {}})
+        roots = build_span_tree(spans)
+        assert {r["name"] for r in roots} == {"serve.request",
+                                              "worker.orphan"}
+
+    def test_spans_from_dicts_round_trips(self):
+        span = Span(name="x", category="serve", start_s=1.0, end_s=2.5,
+                    thread_id=4, span_id=8, parent_id=2, depth=1,
+                    trace_id="t" * 16, attrs={"k": 1})
+        (back,) = spans_from_dicts([span.as_dict()])
+        assert back == span
+
+
+class TestRenderers:
+    def test_flight_table_lists_requests(self, tracer, recorder):
+        ids = []
+        drive_request(tracer, recorder, trace_id_holder=ids)
+        rendered = render_flight_table(
+            [r.as_dict() for r in recorder.records()[::-1]])
+        assert ids[0] in rendered
+        assert "profile" in rendered and "computed" in rendered
+
+    def test_flight_table_handles_empty_logs(self):
+        assert render_flight_table([]) == "no flight records"
+
+    def test_trace_tree_render_shows_nesting_and_totals(self, tracer,
+                                                        recorder):
+        record = drive_request(tracer, recorder)
+        rendered = render_trace_tree(record.as_dict())
+        lines = rendered.splitlines()
+        assert any(line.startswith("serve.request") for line in lines)
+        assert any(line.startswith("  profile.run") for line in lines)
+        assert "totals:" in rendered
+        assert record.trace_id in rendered
+
+    def test_trace_tree_render_without_spans(self):
+        rendered = render_trace_tree({"trace_id": "x", "spans": []})
+        assert "no spans recorded" in rendered

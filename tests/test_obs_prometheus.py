@@ -1,0 +1,189 @@
+"""Prometheus exposition renderer + validator (:mod:`repro.obs.prometheus`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (CONTENT_TYPE, format_labels,
+                                  parse_label_key, render_prometheus,
+                                  render_registry, sanitize_metric_name,
+                                  validate_exposition)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestNameAndLabelMapping:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.request_seconds") == \
+            "serve_request_seconds"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("9lives")[0] not in "0123456789"
+
+    def test_parse_label_key_round_trip(self):
+        assert parse_label_key("route=profile,status=200") == \
+            {"route": "profile", "status": "200"}
+        assert parse_label_key("") == {}
+
+    def test_format_labels_sorted_and_escaped(self):
+        rendered = format_labels({"b": 'say "hi"\n', "a": "x\\y"})
+        assert rendered == '{a="x\\\\y",b="say \\"hi\\"\\n"}'
+
+    def test_no_labels_renders_bare(self):
+        assert format_labels({}) == ""
+
+
+class TestRendering:
+    def test_counter_gets_total_suffix(self, registry):
+        registry.counter("serve.requests").inc(3, route="profile",
+                                               status=200)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE serve_requests_total counter" in text
+        assert ('serve_requests_total{route="profile",status="200"} 3'
+                in text)
+
+    def test_gauge_renders_plain(self, registry):
+        registry.gauge("serve.inflight").set(2)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE serve_inflight gauge" in text
+        assert "serve_inflight 2" in text.splitlines()
+
+    def test_histogram_renders_as_summary_with_quantiles(self, registry):
+        latency = registry.histogram("serve.request_seconds")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            latency.observe(value, route="profile")
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE serve_request_seconds summary" in text
+        for quantile in ("0.5", "0.9", "0.99"):
+            assert (f'serve_request_seconds{{quantile="{quantile}",'
+                    f'route="profile"}}') in text
+        assert 'serve_request_seconds_sum{route="profile"} 10' in text
+        assert 'serve_request_seconds_count{route="profile"} 4' in text
+        assert "# TYPE serve_request_seconds_min gauge" in text
+        assert 'serve_request_seconds_max{route="profile"} 4' in text
+
+    def test_families_come_out_in_sorted_name_order(self, registry):
+        registry.counter("zz.last").inc()
+        registry.gauge("aa.first").set(1)
+        text = render_prometheus(registry.snapshot())
+        assert text.index("aa_first") < text.index("zz_last")
+
+    def test_help_lines_precede_type(self, registry):
+        registry.counter("cache.requests", "result cache traffic").inc()
+        text = render_prometheus(registry.snapshot(),
+                                 registry.help_texts())
+        lines = text.splitlines()
+        help_index = lines.index(
+            "# HELP cache_requests_total result cache traffic")
+        assert lines[help_index + 1] == \
+            "# TYPE cache_requests_total counter"
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+    def test_render_registry_uses_the_process_registry(self):
+        from repro.obs import metrics as metrics_module
+
+        metrics_module.counter("prom.test.render").inc()
+        text = render_registry()
+        assert "prom_test_render_total 1" in text
+
+    def test_content_type_declares_the_exposition_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestValidator:
+    def _valid_text(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", "requests").inc(
+            5, route="profile", status=200)
+        registry.gauge("serve.inflight").set(1)
+        latency = registry.histogram("serve.request_seconds", "latency")
+        for value in (0.01, 0.02, 0.05):
+            latency.observe(value, route="profile")
+        return render_prometheus(registry.snapshot(),
+                                 registry.help_texts())
+
+    def test_rendered_output_validates_clean(self):
+        assert validate_exposition(self._valid_text()) == []
+
+    def test_empty_exposition_is_a_problem(self):
+        assert validate_exposition("") == ["no samples"]
+        assert validate_exposition("# TYPE x counter\n") == ["no samples"]
+
+    def test_unparseable_sample_line(self):
+        problems = validate_exposition("what is this\n")
+        assert any("unparseable" in p for p in problems)
+
+    def test_bad_value_is_reported(self):
+        problems = validate_exposition("x{a=\"1\"} notanumber\n")
+        assert any("not a number" in p for p in problems)
+
+    def test_inf_and_nan_values_are_legal(self):
+        assert validate_exposition(
+            "x_bound +Inf\ny_bound -Inf\nz_last NaN\n") == []
+
+    def test_duplicate_type_declaration(self):
+        text = "# TYPE x counter\n# TYPE x counter\nx_total 1\n"
+        problems = validate_exposition(text)
+        assert any("duplicate TYPE" in p for p in problems)
+
+    def test_type_after_samples_is_reported(self):
+        text = "x 1\n# TYPE x gauge\n"
+        problems = validate_exposition(text)
+        assert any("after its samples" in p for p in problems)
+
+    def test_interleaved_families_are_reported(self):
+        text = ("# TYPE a gauge\n# TYPE b gauge\n"
+                "a 1\nb 2\na 3\n")
+        problems = validate_exposition(text)
+        assert any("interleaved" in p for p in problems)
+
+    def test_summary_suffix_samples_belong_to_their_family(self):
+        text = ("# TYPE s summary\n"
+                's{quantile="0.5"} 1\ns_sum 2\ns_count 3\n')
+        assert validate_exposition(text) == []
+
+    def test_quantile_outside_unit_interval(self):
+        text = '# TYPE s summary\ns{quantile="1.5"} 1\n'
+        problems = validate_exposition(text)
+        assert any("outside [0, 1]" in p for p in problems)
+
+    def test_negative_counter_is_reported(self):
+        text = "# TYPE x_total counter\nx_total -1\n"
+        problems = validate_exposition(text)
+        assert any("negative counter" in p for p in problems)
+
+    def test_malformed_labels_are_reported(self):
+        problems = validate_exposition("x{route=profile} 1\n")
+        assert any("malformed labels" in p for p in problems)
+
+    def test_bad_type_keyword(self):
+        problems = validate_exposition("# TYPE x sideways\nx 1\n")
+        assert any("bad TYPE" in p for p in problems)
+
+    def test_free_form_comments_are_ignored(self):
+        assert validate_exposition("# scraped at dawn\nx 1\n") == []
+
+
+class TestManifestSnapshotCompatibility:
+    def test_manifest_metrics_section_renders_and_validates(self):
+        """``repro stats --prom`` feeds a manifest's metrics section —
+        same shape as a live snapshot — through the same renderer."""
+        snapshot = {
+            "cache.requests": {"kind": "counter",
+                               "series": {"result=hit": 7,
+                                          "result=miss": 2}},
+            "experiment.duration_s": {
+                "kind": "histogram",
+                "series": {"experiment=fig3": {
+                    "count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+                    "p50": 1.5, "p90": 1.9, "p99": 1.99}}},
+        }
+        text = render_prometheus(snapshot)
+        assert validate_exposition(text) == []
+        assert 'cache_requests_total{result="hit"} 7' in text

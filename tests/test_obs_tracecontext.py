@@ -1,0 +1,257 @@
+"""Trace-context propagation (:mod:`repro.obs.spans`).
+
+The span stack lives in a ``contextvars.ContextVar``: threads and asyncio
+tasks nest independently (as with the old ``threading.local``), but the
+context can now be *carried* — ``contextvars.copy_context()`` hands a
+worker thread the caller's open stack, and ``TraceContext`` snapshots
+replay across process boundaries.  These tests pin every propagation
+path the serve executor and the batch runner rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.spans import SpanTracer, TraceContext, new_trace_id
+
+
+@pytest.fixture
+def tracer():
+    tracer = SpanTracer()
+    tracer.enable()
+    return tracer
+
+
+class TestTraceIds:
+    def test_root_span_generates_a_trace_id(self, tracer):
+        with tracer.span("root"):
+            pass
+        (record,) = tracer.reset()
+        assert len(record.trace_id) == 16
+        int(record.trace_id, 16)  # hex
+
+    def test_children_inherit_the_root_trace_id(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        records = tracer.reset()
+        assert len({r.trace_id for r in records}) == 1
+
+    def test_sibling_roots_get_distinct_trace_ids(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.reset()
+        assert first.trace_id != second.trace_id
+
+    def test_new_trace_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+    def test_as_dict_carries_the_trace_id(self, tracer):
+        with tracer.span("root"):
+            pass
+        payload = tracer.reset()[0].as_dict()
+        assert payload["trace_id"]
+
+
+class TestThreadIsolation:
+    def test_concurrent_threads_get_disjoint_traces(self, tracer):
+        """A fresh thread has a fresh context: no accidental nesting."""
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait()
+                barrier.wait()
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = tracer.reset()
+        assert all(r.parent_id == -1 for r in records)
+        assert len({r.trace_id for r in records}) == 2
+
+    def test_concurrent_tasks_get_disjoint_traces(self, tracer):
+        """Each asyncio task copies the (empty) context at creation."""
+        async def request(name):
+            with tracer.span(name):
+                await asyncio.sleep(0)
+
+        async def storm():
+            await asyncio.gather(*(request(f"r{i}") for i in range(10)))
+
+        asyncio.run(storm())
+        records = tracer.reset()
+        assert len({r.trace_id for r in records}) == 10
+        assert all(r.depth == 0 for r in records)
+
+
+class TestCopiedContext:
+    def test_copy_context_carries_the_open_stack_into_a_thread(self,
+                                                               tracer):
+        """The serve executor pattern: the worker's spans parent to the
+        caller's open span instead of starting an orphan trace."""
+        def compute_job():
+            with tracer.span("compute"):
+                pass
+
+        with tracer.span("request") as request_span:
+            context = contextvars.copy_context()
+            worker = threading.Thread(
+                target=lambda: context.run(compute_job))
+            worker.start()
+            worker.join()
+        compute, request = tracer.reset()
+        assert compute.name == "compute"
+        assert compute.parent_id == request_span.span_id
+        assert compute.trace_id == request.trace_id
+        assert compute.depth == request.depth + 1
+
+    def test_worker_pop_does_not_corrupt_the_caller_stack(self, tracer):
+        def worker_job():
+            with tracer.span("w"):
+                pass
+
+        with tracer.span("request"):
+            context = contextvars.copy_context()
+            worker = threading.Thread(
+                target=lambda: context.run(worker_job))
+            worker.start()
+            worker.join()
+            # The caller's own stack is untouched by the worker's pop.
+            assert tracer.current().name == "request"
+        assert tracer.current() is None
+
+
+class TestTraceContextSnapshot:
+    def test_current_context_of_the_innermost_span(self, tracer):
+        assert tracer.current_context() is None
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                context = tracer.current_context()
+                assert context.trace_id == inner.trace_id
+                assert context.span_id == inner.span_id
+                assert context.depth == inner.depth
+        assert tracer.current_context() is None
+
+    def test_attach_joins_root_spans_to_the_context(self, tracer):
+        context = TraceContext(trace_id="feedc0ffee000001", span_id=7,
+                               depth=2)
+        with tracer.attach(context):
+            with tracer.span("joined"):
+                pass
+        (record,) = tracer.reset()
+        assert record.trace_id == "feedc0ffee000001"
+        assert record.parent_id == 7
+        assert record.depth == 3
+
+    def test_attach_restores_on_exit(self, tracer):
+        with tracer.attach(TraceContext(trace_id="aa" * 8)):
+            pass
+        with tracer.span("after"):
+            pass
+        (record,) = tracer.reset()
+        assert record.trace_id != "aa" * 8
+
+    def test_open_stack_wins_over_attached_context(self, tracer):
+        with tracer.span("local_root") as root:
+            with tracer.attach(TraceContext(trace_id="bb" * 8)):
+                with tracer.span("child"):
+                    pass
+        child = tracer.reset()[0]
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_ambient_context_visible_via_current_context(self, tracer):
+        context = TraceContext(trace_id="cc" * 8)
+        with tracer.attach(context):
+            assert tracer.current_context() == context
+
+    def test_round_trips_through_dict_and_pickle(self):
+        context = TraceContext(trace_id="dd" * 8, span_id=42, depth=3)
+        assert TraceContext.from_dict(context.as_dict()) == context
+        assert pickle.loads(pickle.dumps(context)) == context
+
+    def test_from_dict_defaults_to_root_parenting(self):
+        context = TraceContext.from_dict({"trace_id": "ee" * 8})
+        assert context.span_id == -1
+        assert context.depth == -1
+
+
+class TestSinksAndRetention:
+    def test_sink_sees_every_finished_span(self, tracer):
+        seen = []
+        tracer.add_sink(seen.append)
+        with tracer.span("a"):
+            pass
+        assert [s.name for s in seen] == ["a"]
+        tracer.remove_sink(seen.append)
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in seen] == ["a"]
+
+    def test_retain_false_delivers_to_sinks_without_accumulating(self):
+        tracer = SpanTracer()
+        tracer.enable(retain=False)
+        seen = []
+        tracer.add_sink(seen.append)
+        for _ in range(50):
+            with tracer.span("request"):
+                pass
+        assert len(seen) == 50
+        assert tracer.reset() == []  # nothing retained: bounded memory
+
+    def test_capture_forces_retention_while_open(self):
+        tracer = SpanTracer()
+        tracer.enable(retain=False)
+        with tracer.capture() as scope:
+            with tracer.span("inside"):
+                pass
+        assert [s.name for s in scope.spans] == ["inside"]
+        with tracer.span("after"):
+            pass
+        assert tracer.reset() == []
+
+    def test_raising_sink_never_breaks_the_caller(self, tracer):
+        def explode(span):
+            raise RuntimeError("sink on fire")
+
+        tracer.add_sink(explode)
+        with tracer.span("survives"):
+            pass
+        assert tracer.reset()[0].name == "survives"
+
+
+class TestEnginePipelineJoinsAttachedContext:
+    def test_trace_build_and_passes_share_the_attached_trace_id(self):
+        """The runner-worker pattern: replay a parent-assigned context,
+        then run the real engine pipeline (trace build + rewrite passes)
+        and observe one connected tree under the parent's trace id."""
+        from repro.experiments.points import POINT_REGISTRY
+        from repro.obs.spans import get_tracer
+        from repro.trace.bert_trace import build_iteration_trace
+        from repro.trace.passes import build_pipeline
+
+        model, training = POINT_REGISTRY["tiny.ph1-b2-fp32"]
+        context = TraceContext(trace_id=new_trace_id())
+        tracer = get_tracer()
+        with tracer.capture() as scope:
+            with tracer.attach(context):
+                trace = build_iteration_trace(model, training)
+                build_pipeline("fuse_elementwise").run(trace)
+
+        names = {s.name for s in scope.spans}
+        assert "trace.build_iteration" in names
+        assert "pass_pipeline.run" in names
+        assert any(name.startswith("pass.") for name in names)
+        assert {s.trace_id for s in scope.spans} == {context.trace_id}
