@@ -17,14 +17,17 @@ experiments:
 
 # Tier-1 gate: the full test suite, a parallel end-to-end smoke of
 # every registered experiment (exercises the runner, cache and manifest),
-# a validated Perfetto export (exercises the observability layer), and a
+# a validated Perfetto export (exercises the observability layer), a
 # live-server telemetry smoke (scrapes /metrics, validates the Prometheus
-# exposition, round-trips a trace through the flight recorder).
+# exposition, round-trips a trace through the flight recorder), and a
+# lazy-graph smoke (schedule validity, determinism, no double-realize,
+# graph-lowered trace bit-identical to the builder).
 verify:
 	PYTHONPATH=src python -m pytest tests/ -x -q
 	PYTHONPATH=src python -m repro run all --jobs 2
 	PYTHONPATH=src python scripts/check_perfetto.py perfetto-smoke
 	PYTHONPATH=src python scripts/check_prometheus.py prometheus-smoke
+	PYTHONPATH=src python scripts/check_lazy_graph.py
 
 examples:
 	python examples/quickstart.py

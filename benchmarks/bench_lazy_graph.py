@@ -1,0 +1,118 @@
+"""Overhead benchmark of the lazy analytic graph vs the eager builder.
+
+The lazy path buys one linearization for execution *and* tracing, but it
+must not make tracing itself expensive: building the BERT Large analytic
+graph and lowering its schedule into a :class:`~repro.trace.kernel_table.
+KernelTable` has to stay within ``MAX_OVERHEAD``x of the eager
+layer-templated builder (:func:`~repro.trace.bert_trace.
+build_iteration_trace`) producing the same table.
+
+Measured quantities (best of ``REPEATS``, ``ITERS`` runs each):
+
+* ``eager_s`` — ``build_iteration_trace`` end to end (the baseline).
+* ``graph_build_s`` — :func:`~repro.trace.lowerer.bert_iteration_graph`:
+  constructing every :class:`~repro.tensor.lazy.LazyOp` node *is* the
+  scheduling step, since construction order is the schedule.
+* ``lower_s`` — :func:`~repro.trace.lowerer.lower_schedule` mapping the
+  schedule 1:1 into kernel rows.
+* ``validate_s`` — reported for visibility but outside the enforced
+  ratio: validation is a structural debug check (the verify smoke runs
+  it), not part of producing a trace, and the eager side has no
+  counterpart.
+
+Also asserts the two paths produce bit-identical kernel streams before
+timing anything — a fast wrong answer is not an optimization.
+
+Writes ``BENCH_lazy_graph.json`` at the repo root and exits non-zero if
+``(graph_build_s + lower_s) / eager_s`` exceeds ``MAX_OVERHEAD``, so CI
+catches the graph path regressing into per-node overhead.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_lazy_graph.py``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.config import BERT_LARGE, Precision, training_point
+from repro.trace.bert_trace import build_iteration_trace
+from repro.trace.lowerer import bert_iteration_graph, lower_schedule
+
+#: Maximum acceptable (graph build + lower) / eager-builder time ratio.
+MAX_OVERHEAD = 2.0
+
+REPEATS = 5
+ITERS = 10
+
+TRAINING = training_point(1, 32, Precision.FP32)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_lazy_graph.json"
+
+
+def _best(fn) -> float:
+    """Best per-iteration wall time over ``REPEATS`` batches of ``ITERS``."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for _ in range(ITERS):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / ITERS)
+    return best
+
+
+def run() -> dict:
+    eager_kernels = build_iteration_trace(
+        BERT_LARGE, TRAINING).table.to_kernels()
+    graph = bert_iteration_graph(BERT_LARGE, TRAINING)
+    graph.validate()
+    lazy_kernels = graph.lower().to_kernels()
+    if lazy_kernels != eager_kernels:
+        raise AssertionError(
+            "lazily lowered kernel stream diverges from the eager builder "
+            "— refusing to benchmark a wrong answer")
+
+    eager_s = _best(lambda: build_iteration_trace(BERT_LARGE, TRAINING))
+    graph_build_s = _best(lambda: bert_iteration_graph(BERT_LARGE, TRAINING))
+    lower_s = _best(lambda: lower_schedule(graph.schedule))
+    validate_s = _best(graph.validate)
+    overhead = (graph_build_s + lower_s) / eager_s
+    return {
+        "model": "BERT Large",
+        "point": TRAINING.label,
+        "kernels": len(eager_kernels),
+        "schedule_items": len(graph.schedule),
+        "repeats": REPEATS,
+        "iters": ITERS,
+        "max_overhead": MAX_OVERHEAD,
+        "eager_s": eager_s,
+        "graph_build_s": graph_build_s,
+        "lower_s": lower_s,
+        "validate_s": validate_s,
+        "overhead": overhead,
+        "bit_identical": True,
+    }
+
+
+def main() -> int:
+    payload = run()
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    print(f"{payload['kernels']} kernels | "
+          f"eager {payload['eager_s'] * 1e3:.2f} ms, "
+          f"graph build {payload['graph_build_s'] * 1e3:.2f} ms + "
+          f"lower {payload['lower_s'] * 1e3:.2f} ms "
+          f"(validate {payload['validate_s'] * 1e3:.2f} ms), "
+          f"overhead {payload['overhead']:.2f}x")
+    if payload["overhead"] > MAX_OVERHEAD:
+        print(f"FAIL: lazy graph overhead {payload['overhead']:.2f}x > "
+              f"{MAX_OVERHEAD}x eager")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

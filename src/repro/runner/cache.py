@@ -73,9 +73,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Packages whose source determines a (trace, profile) result.  A change to
 #: any file under them rotates the cache key, so stale entries from an older
 #: code version can never be served.
-_CODE_FINGERPRINT_PARTS = ("config.py", "ops", "trace", "hw", "profiler",
-                           "fusion", "memoryplan", "distributed", "nmc",
-                           "grid")
+_CODE_FINGERPRINT_PARTS = ("config.py", "ops", "tensor", "trace", "hw",
+                           "profiler", "fusion", "memoryplan", "distributed",
+                           "nmc", "grid")
 
 
 def default_cache_dir() -> Path:

@@ -2,7 +2,9 @@
 
 Softmax, LayerNorm, GeLU, dropout, embedding lookup and the losses BERT
 needs.  Where numerical stability matters (softmax, log-softmax) the ops
-are implemented as dedicated primitives rather than compositions.
+are implemented as dedicated primitives rather than compositions.  Every
+primitive goes through :meth:`Tensor._op`, so the same code builds lazy
+graph nodes under :func:`repro.tensor.lazy.lazy_mode`.
 """
 
 from __future__ import annotations
@@ -14,28 +16,46 @@ from repro.tensor.tensor import Tensor
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    def compute(a: np.ndarray) -> np.ndarray:
+        shifted = a - a.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=axis, keepdims=True)
 
-    def backward(grad: np.ndarray) -> None:
+    def grad_compute(g: np.ndarray, o: np.ndarray) -> np.ndarray:
+        dot = (g * o).sum(axis=axis, keepdims=True)
+        return o * (g - dot)
+
+    def backward(grad: Tensor) -> None:
         if x.requires_grad:
-            dot = (grad * out_data).sum(axis=axis, keepdims=True)
-            x._accumulate(out_data * (grad - dot))
-    return Tensor._make(out_data, (x,), backward)
+            x._accumulate(Tensor._op(
+                "softmax_bwd", (grad, out), grad_compute, None,
+                shape=np.broadcast_shapes(grad.shape, out.shape),
+                dtype=np.result_type(grad.dtype, out.dtype)))
+    out = Tensor._op("softmax", (x,), compute, backward,
+                     shape=x.shape, dtype=x.dtype)
+    return out
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable log-softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_sum
+    def compute(a: np.ndarray) -> np.ndarray:
+        shifted = a - a.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        return shifted - log_sum
 
-    def backward(grad: np.ndarray) -> None:
+    def grad_compute(g: np.ndarray, o: np.ndarray) -> np.ndarray:
+        soft = np.exp(o)
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    def backward(grad: Tensor) -> None:
         if x.requires_grad:
-            soft = np.exp(out_data)
-            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
-    return Tensor._make(out_data, (x,), backward)
+            x._accumulate(Tensor._op(
+                "log_softmax_bwd", (grad, out), grad_compute, None,
+                shape=np.broadcast_shapes(grad.shape, out.shape),
+                dtype=np.result_type(grad.dtype, out.dtype)))
+    out = Tensor._op("log_softmax", (x,), compute, backward,
+                     shape=x.shape, dtype=x.dtype)
+    return out
 
 
 def gelu(x: Tensor) -> Tensor:
@@ -68,15 +88,23 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
 def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
     """Row gather from an embedding table with scatter-add backward."""
     indices = np.asarray(indices)
-    out_data = table.data[indices]
+    table_shape = table.shape
 
-    def backward(grad: np.ndarray) -> None:
+    def grad_compute(g: np.ndarray, t: np.ndarray) -> np.ndarray:
+        full = np.zeros_like(t)
+        np.add.at(full, indices.reshape(-1), g.reshape(-1, t.shape[-1]))
+        return full
+
+    def backward(grad: Tensor) -> None:
         if table.requires_grad:
-            full = np.zeros_like(table.data)
-            np.add.at(full, indices.reshape(-1),
-                      grad.reshape(-1, table.data.shape[-1]))
-            table._accumulate(full)
-    return Tensor._make(out_data, (table,), backward)
+            table._accumulate(Tensor._op(
+                "scatter_add", (grad, table), grad_compute, None,
+                shape=table_shape, dtype=table.dtype))
+    return Tensor._op(
+        "gather", (table,), lambda t: t[indices], backward,
+        shape=tuple(indices.shape) + tuple(table_shape[1:]),
+        dtype=table.dtype,
+        record_shapes=(table_shape, tuple(indices.shape)))
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray,

@@ -1,14 +1,25 @@
 """Op recording hooks for trace cross-validation.
 
 The analytic kernel trace (:mod:`repro.trace`) claims BERT's layers manifest
-as specific GEMM shapes (Table 2b).  To keep that claim honest, the autograd
-engine reports every executed op here; tests run the real NumPy model under
-:func:`record` capture and compare the observed matmul shapes against the
-analytic trace.
+as specific GEMM shapes (Table 2b) at specific precisions.  To keep that
+claim honest, the tensor engine reports every executed op here; tests run
+the real NumPy model under :func:`record` capture and compare the observed
+matmul shapes *and dtypes* against the analytic trace.
+
+Recording observes **execution**, not graph construction: the eager path
+records as each op computes, and the lazy path records from
+:func:`repro.tensor.schedule.execute` when the scheduler realizes a node —
+so a capture around ``loss.data`` sees the same stream either way.
+
+Sinks are registered under integer tokens (monotonic, O(1) detach) so
+captures nest safely: detaching an outer capture while an inner one is
+still active — or vice versa, in any order — never scans or disturbs the
+other sinks the way the previous ``list.remove`` bookkeeping could.
 """
 
 from __future__ import annotations
 
+import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -20,10 +31,15 @@ class OpRecord:
     Attributes:
         kind: op name (``"matmul"``, ``"add"``, ``"mul"``, ...).
         shapes: operand shapes, in order.
+        dtype: NumPy dtype name of the output (``"float32"``), or ``None``
+            when the recorder predates dtype reporting.
+        out_shape: shape of the produced array, or ``None``.
     """
 
     kind: str
     shapes: tuple[tuple[int, ...], ...]
+    dtype: str | None = None
+    out_shape: tuple[int, ...] | None = None
 
     def matmul_mnk(self) -> tuple[int, int, int, int]:
         """(m, n, k, batch) of a recorded matmul, collapsing batch dims."""
@@ -38,16 +54,35 @@ class OpRecord:
         return m, n, k, batch
 
 
-_active: list[list[OpRecord]] = []
+#: Active sinks by token.  A dict keeps detach O(1) and nesting-safe; the
+#: insertion order (outer capture first) is preserved for record fan-out.
+_active: dict[int, list[OpRecord]] = {}
+_tokens = itertools.count()
 
 
-def record(kind: str, *shapes: tuple[int, ...]) -> None:
+def record(kind: str, *shapes: tuple[int, ...], dtype=None,
+           out_shape=None) -> None:
     """Report an executed op to any active recorders (no-op otherwise)."""
     if not _active:
         return
-    entry = OpRecord(kind=kind, shapes=tuple(tuple(s) for s in shapes))
-    for sink in _active:
+    entry = OpRecord(kind=kind,
+                     shapes=tuple(tuple(s) for s in shapes),
+                     dtype=None if dtype is None else str(dtype),
+                     out_shape=None if out_shape is None else tuple(out_shape))
+    for sink in _active.values():
         sink.append(entry)
+
+
+def attach(sink: list[OpRecord]) -> int:
+    """Register ``sink`` to receive records; returns its detach token."""
+    token = next(_tokens)
+    _active[token] = sink
+    return token
+
+
+def detach(token: int) -> None:
+    """Unregister a sink by token (idempotent, O(1))."""
+    _active.pop(token, None)
 
 
 @contextmanager
@@ -58,11 +93,11 @@ def capture():
         The list that fills with :class:`OpRecord` entries.
     """
     sink: list[OpRecord] = []
-    _active.append(sink)
+    token = attach(sink)
     try:
         yield sink
     finally:
-        _active.remove(sink)
+        detach(token)
 
 
 def matmuls(records: list[OpRecord]) -> list[OpRecord]:

@@ -1,0 +1,612 @@
+"""Lowering: lazy tensor schedules → :class:`KernelTable` rows.
+
+The tensor engine (:mod:`repro.tensor`) and the analytic kernel trace
+(:mod:`repro.trace.bert_trace`) used to be two separate artifacts: one
+executed NumPy code, the other stamped cost rows, and nothing forced them
+to agree.  This module closes the loop.  A lazy schedule — the ordered
+realize-items the scheduler would execute — lowers 1:1 into kernel rows,
+so *running* one BERT training iteration and *tracing* it are the same
+walk over the same graph.
+
+Two graph sources exist:
+
+* :func:`bert_iteration_graph` builds the **analytic** iteration graph:
+  one :class:`~repro.tensor.lazy.LazyOp` node per kernel that
+  :func:`repro.trace.bert_trace.build_iteration_trace` would emit, created
+  in emission order (so ``nid`` order *is* builder row order) and carrying
+  the exact :class:`~repro.ops.base.Kernel` record as lowering metadata.
+  Parameters and inputs are deferred buffers, so building the BERT Large
+  graph never touches gigabytes of memory; executing a tiny graph
+  allocates and runs for real.  Lowering this graph is bit-identical to
+  the layer-templated builder — the golden tests pin it.
+* Any **autograd** graph built by running the executable model under
+  :func:`repro.tensor.lazy.lazy_mode`.  Its nodes carry no kernel
+  metadata, so lowering classifies each op (GEMM / reduction / gather /
+  elementwise) and derives FLOPs and bytes from the recorded shapes and
+  dtypes — an observed trace of what actually executed, cross-validated
+  against the analytic GEMM inventory by the trace-crosscheck tests.
+
+Trace-rewrite passes run here as **schedule rewrites**: checkpointing
+inserts freshly-minted ``recompute.`` replay nodes (and rebinds the
+segment's backward nodes onto the replayed activations), elementwise
+fusion collapses same-group producer-consumer runs into one fused node.
+Rewriting the schedule changes *what executes*, and the lowered table of
+the rewritten schedule is pinned bit-exact against the corresponding
+columnar :class:`~repro.trace.passes.TracePass`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BertConfig, TrainingConfig
+from repro.ops.base import (AccessPattern, Component, DType, Kernel, OpClass,
+                            Phase, Region)
+from repro.tensor import schedule as tensor_schedule
+from repro.tensor.lazy import LazyOp, deferred_buffer
+from repro.trace.kernel_table import KernelTable
+
+
+class LowerError(RuntimeError):
+    """A schedule that cannot be lowered into kernel rows."""
+
+
+def KernelMeta(kernel: Kernel, layer: int | None = None,
+               provenance: str | None = None) -> tuple:
+    """Lowering metadata attached to an analytic graph node.
+
+    Represented as a plain ``(kernel, layer, provenance)`` tuple — the
+    graph builder mints one per node (~1.5k for BERT Large), and tuple
+    construction is an order of magnitude cheaper than any class, which
+    is what keeps graph building inside the benchmarked overhead budget.
+    The lowerer owns the meta slot of analytic nodes: a tuple meta means
+    "lower to exactly this kernel"; anything else means "classify from
+    the op kind" (the autograd path).
+
+    Fields:
+        kernel: the kernel row this node lowers to.  Encoder-layer nodes
+            share one *template* kernel per position (``layer_index``
+            unset) and carry the attribution separately in ``layer`` —
+            the graph-side mirror of :meth:`KernelTable.tiled`, which is
+            what keeps building and lowering a 24-layer graph from
+            copying the row record 24 times.
+        layer: encoder-layer attribution stamped at lowering time when
+            the template is unattributed (``None`` leaves it as-is).
+        provenance: name of the schedule rewrite that minted the node, or
+            ``None`` for nodes emitted by the graph builder itself —
+            mirrors the provenance column the columnar passes stamp.
+    """
+    return (kernel, layer, provenance)
+
+
+#: NumPy storage dtype per trace dtype.  NumPy has no bfloat16; BF16
+#: buffers are stored as float16, which has the same element size, so the
+#: scheduler's byte accounting stays exact.
+_NUMPY_DTYPE = {
+    DType.FP16: np.float16,
+    DType.BF16: np.float16,
+    DType.FP32: np.float32,
+    DType.FP64: np.float64,
+    DType.INT32: np.int32,
+    DType.INT64: np.int64,
+}
+
+#: Trace dtype per NumPy dtype name, for lowering autograd nodes.
+_TRACE_DTYPE = {
+    "float16": DType.FP16,
+    "float32": DType.FP32,
+    "float64": DType.FP64,
+    "int32": DType.INT32,
+    "int64": DType.INT64,
+}
+
+
+_NUMPY_DTYPE_OBJ = {trace: np.dtype(storage)
+                    for trace, storage in _NUMPY_DTYPE.items()}
+
+
+def _kernel_node(kernel: Kernel, srcs, *, layer: int | None = None,
+                 provenance: str | None = None) -> LazyOp:
+    """One graph node lowering to exactly ``kernel`` (layer-stamped).
+
+    The compute allocates the kernel's principal tensor (``n_elements``
+    elements of its dtype): the analytic graph is a *cost* program — its
+    dataflow, ordering and buffer sizes are exact, while the numerics of
+    BERT live in the executable model path (:mod:`repro.model.bert` under
+    ``lazy_mode``), which is pinned bit-identical to eager execution.
+    """
+    shape = (kernel.n_elements,) if kernel.n_elements else ()
+    storage = _NUMPY_DTYPE[kernel.dtype]
+
+    def compute(*_args, _shape=shape, _dtype=storage):
+        return np.zeros(_shape, dtype=_dtype)
+
+    unique: list[LazyOp] = []
+    for src in srcs:
+        if src is not None and not any(src is seen for seen in unique):
+            unique.append(src)
+    return LazyOp(kernel.name, tuple(unique), shape,
+                  _NUMPY_DTYPE_OBJ[kernel.dtype], compute,
+                  meta=KernelMeta(kernel, layer, provenance))
+
+
+def _meta_kernel(node: LazyOp) -> Kernel:
+    """The fully layer-attributed kernel a graph node lowers to."""
+    meta = node.meta
+    if type(meta) is not tuple:
+        raise LowerError(
+            f"node {node.nid} ({node.kind}) carries no kernel metadata")
+    kernel, layer, _provenance = meta
+    if layer is not None and kernel.layer_index is None:
+        return kernel.with_layer(layer)
+    return kernel
+
+
+# --------------------------------------------------------------------------
+# The analytic BERT iteration graph
+# --------------------------------------------------------------------------
+
+@dataclass
+class IterationGraph:
+    """A lazy-graph rendering of one BERT training iteration.
+
+    Attributes:
+        model / training: the operating point the graph was built for.
+        schedule: op nodes in execution order.  For an unrewritten graph
+            this equals ``linearize(roots)``; schedule rewrites insert
+            freshly-minted nodes mid-stream, after which the explicit list
+            is the one source of order.
+        rewritten: whether a schedule rewrite has run (relaxes the
+            ``nid``-monotonicity check during validation).
+    """
+
+    model: BertConfig
+    training: TrainingConfig
+    schedule: list[LazyOp]
+    rewritten: bool = False
+
+    @property
+    def roots(self) -> list[LazyOp]:
+        """Sink nodes: scheduled ops nothing else consumes."""
+        return [node for node in self.schedule if node._pending == 0]
+
+    def validate(self) -> None:
+        """Structural checks: acyclic, deterministic, no double-realize."""
+        tensor_schedule.validate_schedule(
+            self.schedule, require_nid_order=not self.rewritten)
+
+    def lower(self) -> KernelTable:
+        """The kernel table this schedule executes as."""
+        return lower_schedule(self.schedule)
+
+
+def bert_iteration_graph(model: BertConfig, training: TrainingConfig, *,
+                         rewrites: tuple[str, ...] = ()) -> IterationGraph:
+    """Build the lazy graph of one full training iteration.
+
+    One op node per analytic kernel, constructed in the exact order
+    :func:`~repro.trace.bert_trace.build_iteration_trace` emits rows —
+    embedding FWD, encoder layers FWD (0..N-1), output head FWD + BWD,
+    encoder layers BWD (N-1..0), embedding BWD, optimizer — so the
+    ``nid``-sorted schedule *is* the builder's row order.  Each node
+    consumes the previous node (stream serialization on one device) plus
+    its real data inputs: parameter-group buffers for GEMMs and gathers,
+    and the saved forward activation for backward kernels.
+
+    When ``training.activation_checkpointing`` is set the checkpointing
+    schedule rewrite is applied, exactly as the builder applies
+    :class:`~repro.memoryplan.checkpointing.CheckpointingPass`.  Extra
+    ``rewrites`` (by pass name, e.g. ``"fuse_elementwise"``) run after.
+    """
+    from repro.optim.kernels import optimizer_kernels
+    from repro.trace import bert_trace
+    from repro.trace.parameters import (bert_parameter_inventory,
+                                        group_by_layer)
+
+    inventory = bert_parameter_inventory(model)
+    groups = group_by_layer(inventory)
+
+    def allocator(count, dtype):
+        return lambda: np.zeros(count, dtype=dtype)
+
+    params = {
+        key: deferred_buffer(
+            (sum(math.prod(t.shape) for t in tensors),), np.float32,
+            allocator(sum(math.prod(t.shape) for t in tensors), np.float32),
+            meta=f"params.{key}")
+        for key, tensors in groups.items()
+    }
+    tokens = training.batch_size * training.seq_len
+    inputs = deferred_buffer((tokens,), np.int64,
+                             allocator(tokens, np.int64), meta="inputs")
+
+    nodes: list[LazyOp] = []
+    saved: dict[tuple[int | None, str], LazyOp] = {}
+    cursor: LazyOp = inputs
+
+    # Static per-template emission properties, computed once per distinct
+    # kernel record (encoder templates are shared across all layers).
+    # Node construction is inlined below — 24 layers re-emit the same ~60
+    # templates, so everything derivable from the kernel record alone
+    # (sources wanted, output shape/dtype, even the allocator closure,
+    # which ignores its inputs) is cached and shared between nodes.
+    template_info: dict[int, tuple] = {}
+
+    def info_of(kernel: Kernel) -> tuple:
+        cached = template_info.get(id(kernel))
+        if cached is not None:
+            return cached
+        param_group = None
+        if (kernel.op_class.is_gemm
+                or kernel.op_class is OpClass.GATHER_SCATTER
+                or "layernorm" in kernel.name):
+            if kernel.component is Component.EMBEDDING:
+                param_group = params["embedding"]
+            elif kernel.component is Component.OUTPUT:
+                param_group = params["output"]
+            elif kernel.component is Component.TRANSFORMER:
+                param_group = "encoder"  # resolved per layer at emit time
+        if kernel.phase is Phase.OPTIMIZER:
+            for stage in (".stage1.", ".stage2."):
+                if stage in kernel.name:
+                    param_group = params.get(kernel.name.split(stage, 1)[1])
+        is_gather = kernel.op_class is OpClass.GATHER_SCATTER
+        partner = (f"{kernel.name.split('.bwd')[0]}.fwd"
+                   if kernel.phase is Phase.BACKWARD else None)
+        shape = (kernel.n_elements,) if kernel.n_elements else ()
+        storage = _NUMPY_DTYPE[kernel.dtype]
+
+        def compute(*_args, _shape=shape, _dtype=storage):
+            return np.zeros(_shape, dtype=_dtype)
+
+        info = (param_group, is_gather, partner,
+                kernel.phase is Phase.FORWARD, shape,
+                _NUMPY_DTYPE_OBJ[kernel.dtype], compute)
+        template_info[id(kernel)] = info
+        return info
+
+    def plan_of(kernels: list[Kernel]) -> list[tuple]:
+        return [(kernel, info_of(kernel)) for kernel in kernels]
+
+    def emit_run(plan: list[tuple], layer: int | None = None) -> None:
+        nonlocal cursor
+        encoder_params = params[f"encoder.{layer}"] if layer is not None \
+            else None
+        for kernel, (param_group, is_gather, partner, is_forward, shape,
+                     dtype, compute) in plan:
+            srcs = [cursor]
+            if param_group is not None:
+                srcs.append(encoder_params if param_group == "encoder"
+                            else param_group)
+            if is_gather and cursor is not inputs:
+                srcs.append(inputs)
+            if partner is not None:
+                # The saved forward activation this backward node consumes.
+                partner_node = saved.get((layer, partner))
+                if partner_node is not None and partner_node is not cursor:
+                    srcs.append(partner_node)
+            node = LazyOp(kernel.name, tuple(srcs), shape, dtype, compute,
+                          meta=(kernel, layer, None))
+            nodes.append(node)
+            if is_forward:
+                saved[(layer, kernel.name)] = node
+            cursor = node
+
+    emit_run(plan_of(bert_trace.embedding_forward_kernels(model, training)))
+    layer_fwd = plan_of(
+        bert_trace.transformer_layer_forward_kernels(model, training))
+    for layer in range(model.num_layers):
+        emit_run(layer_fwd, layer)
+    emit_run(plan_of(
+        bert_trace.output_head_forward_kernels(model, training)
+        + bert_trace.output_head_backward_kernels(model, training)))
+    layer_bwd = plan_of(
+        bert_trace.transformer_layer_backward_kernels(model, training))
+    for layer in range(model.num_layers - 1, -1, -1):
+        emit_run(layer_bwd, layer)
+    emit_run(plan_of(
+        bert_trace.embedding_backward_kernels(model, training)
+        + optimizer_kernels(training.optimizer, inventory,
+                            precision=training.precision,
+                            fused=training.fuse_optimizer)))
+
+    graph = IterationGraph(model, training, nodes)
+    if training.activation_checkpointing:
+        graph.schedule = checkpointing_rewrite(graph.schedule)
+        graph.rewritten = True
+    for name in rewrites:
+        graph.schedule = SCHEDULE_REWRITES[name](graph.schedule)
+        graph.rewritten = True
+    return graph
+
+
+# --------------------------------------------------------------------------
+# Schedule rewrites (the pass layer, running on what executes)
+# --------------------------------------------------------------------------
+
+def _rebind(node: LazyOp, replacement: dict[int, LazyOp]) -> None:
+    """Point ``node``'s sources at replacement nodes, fixing refcounts."""
+    if not any(id(src) in replacement for src in node.srcs):
+        return
+    new_srcs = []
+    for src in node.srcs:
+        new = replacement.get(id(src))
+        if new is None:
+            new_srcs.append(src)
+        else:
+            src._pending -= 1
+            new._pending += 1
+            new_srcs.append(new)
+    node.srcs = tuple(new_srcs)
+
+
+def checkpointing_rewrite(items: list[LazyOp],
+                          num_checkpoints: int | None = None
+                          ) -> list[LazyOp]:
+    """Insert segment-replay recomputation into a schedule.
+
+    The schedule-level twin of :class:`~repro.memoryplan.checkpointing.
+    CheckpointingPass`: before each segment's first backward node, the
+    segment's forward nodes are replayed as fresh ``recompute.`` nodes
+    (phase BACKWARD), chained from the stored checkpoint boundary; the
+    segment's backward nodes are rebound onto the replayed activations,
+    so the original forward intermediates really do die early at
+    execution.  Lowering the rewritten schedule is bit-exact against
+    running the columnar pass on the lowered base schedule.
+    """
+    from repro.memoryplan.checkpointing import checkpoint_segments
+
+    def encoder_idx(phase: Phase) -> list[int]:
+        return [i for i, node in enumerate(items)
+                if (kernel := _meta_kernel(node)).component
+                is Component.TRANSFORMER
+                and kernel.layer_index is not None
+                and kernel.phase is phase]
+
+    fwd_idx = encoder_idx(Phase.FORWARD)
+    if not fwd_idx:
+        return list(items)
+    bwd_idx = encoder_idx(Phase.BACKWARD)
+    num_layers = max(_meta_kernel(items[i]).layer_index for i in fwd_idx) + 1
+    segments = checkpoint_segments(num_layers, num_checkpoints)
+    segment_of = {layer: index for index, segment in enumerate(segments)
+                  for layer in segment}
+
+    first_bwd: dict[int, int] = {}
+    for i in bwd_idx:
+        first_bwd.setdefault(segment_of[_meta_kernel(items[i]).layer_index], i)
+
+    replay_at: dict[int, list[LazyOp]] = {}
+    clone_of: dict[int, LazyOp] = {}
+    for segment_index, position in first_bwd.items():
+        segment_fwd = [i for i in fwd_idx
+                       if segment_of[_meta_kernel(items[i]).layer_index]
+                       == segment_index]
+        # Replay starts from the stored boundary activation: the node just
+        # before the segment's first forward node (the checkpoint).
+        boundary = items[segment_fwd[0] - 1] if segment_fwd[0] > 0 else None
+        replay = []
+        prev = boundary
+        for i in segment_fwd:
+            original = items[i]
+            kernel = _meta_kernel(original)
+            clone = _kernel_node(
+                dataclasses.replace(kernel, name=f"recompute.{kernel.name}",
+                                    phase=Phase.BACKWARD),
+                (prev,), provenance="checkpointing")
+            clone_of[id(original)] = clone
+            replay.append(clone)
+            prev = clone
+        replay_at[position] = replay
+
+    out: list[LazyOp] = []
+    for i, node in enumerate(items):
+        out.extend(replay_at.get(i, ()))
+        out.append(node)
+    # Backward consumes the replayed activations, not the originals.
+    for node in out:
+        if (node.meta[2] is None
+                and _meta_kernel(node).phase is Phase.BACKWARD):
+            _rebind(node, clone_of)
+    return out
+
+
+def fusion_rewrite(items: list[LazyOp]) -> list[LazyOp]:
+    """Collapse same-group elementwise chains into single fused nodes.
+
+    The schedule-level twin of :class:`~repro.fusion.passes.
+    ElementwiseChainFusionPass`: maximal runs of consecutive non-GEMM
+    nodes sharing ``(fusion_group, phase, layer)`` are replaced by one
+    node whose kernel is :func:`~repro.fusion.passes.fuse_chain` of the
+    members — the intermediate hand-off buffers vanish from the graph
+    rather than merely being re-priced.
+    """
+    from repro.fusion.passes import fuse_chain
+
+    def chain_key(node: LazyOp):
+        kernel = _meta_kernel(node)
+        if kernel.fusion_group is None or kernel.op_class.is_gemm:
+            return None
+        return (kernel.fusion_group, kernel.phase, kernel.layer_index)
+
+    out: list[LazyOp] = []
+    replacement: dict[int, LazyOp] = {}
+    run: list[LazyOp] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            out.append(run[0])
+        else:
+            fused = _kernel_node(
+                fuse_chain([_meta_kernel(node) for node in run]),
+                run[0].srcs, provenance="fuse_elementwise")
+            for member in run:
+                for src in member.srcs:
+                    src._pending -= 1
+                replacement[id(member)] = fused
+            out.append(fused)
+        run.clear()
+
+    for node in items:
+        key = chain_key(node)
+        if key is None:
+            flush()
+            out.append(node)
+            continue
+        if run and key != chain_key(run[-1]):
+            flush()
+        run.append(node)
+    flush()
+    for node in out:
+        _rebind(node, replacement)
+    return out
+
+
+#: Schedule rewrites by the name of their columnar-pass twin.
+SCHEDULE_REWRITES = {
+    "checkpointing": checkpointing_rewrite,
+    "fuse_elementwise": fusion_rewrite,
+}
+
+
+# --------------------------------------------------------------------------
+# Lowering
+# --------------------------------------------------------------------------
+
+def lower_schedule(items) -> KernelTable:
+    """Map a schedule 1:1 into kernel rows.
+
+    Nodes carrying :func:`KernelMeta` tuples (the analytic graph) lower to
+    their
+    exact kernel record; bare autograd nodes are classified from their op
+    kind, shapes and dtypes.  Rows minted by a schedule rewrite are
+    stamped with the rewrite's provenance, like the columnar passes do.
+    """
+    count = len(items)
+    template_index: dict[int, int] = {}
+    templates: list[Kernel] = []
+    rows = np.empty(count, dtype=np.intp)
+    layers = np.full(count, -1, dtype=np.int32)
+    provenance_rows: dict[str, list[int]] = {}
+    get_index = template_index.get
+    for row, node in enumerate(items):
+        meta = node.meta
+        if type(meta) is tuple:
+            kernel, layer, provenance = meta
+            if layer is not None:
+                layers[row] = layer
+            if provenance is not None:
+                provenance_rows.setdefault(provenance, []).append(row)
+        else:
+            kernel = _autograd_kernel(node)
+        index = get_index(id(kernel))
+        if index is None:
+            index = len(templates)
+            template_index[id(kernel)] = index
+            templates.append(kernel)
+        rows[row] = index
+    # Pool the distinct kernel records once, then gather per-row columns
+    # vectorized and stamp the layer attribution where the template left
+    # it unset — the lowering-side mirror of :meth:`KernelTable.tiled`.
+    base = KernelTable.from_kernels(templates).take(rows)
+    table = base.with_columns(
+        layer=np.where(base.layer == -1, layers, base.layer))
+    for name, marked in provenance_rows.items():
+        table = table.rewrite_rows(np.asarray(marked, dtype=np.intp),
+                                   provenance=name)
+    return table
+
+
+_REDUCTION_KINDS = frozenset((
+    "sum", "mean", "max", "softmax", "log_softmax",
+    "sum_bwd", "max_bwd", "softmax_bwd", "log_softmax_bwd",
+))
+_GATHER_KINDS = frozenset(("gather", "scatter_add"))
+
+
+def _elements(shape) -> int:
+    return int(math.prod(shape))
+
+
+def _autograd_kernel(node: LazyOp) -> Kernel:
+    """Classify one bare autograd node as a kernel row.
+
+    The byte accounting is observational: every source array is read,
+    the output is written, at the dtypes the scheduler actually used —
+    which is what makes the lowered trace cross-checkable against the
+    analytic GEMM inventory (shapes, dtypes *and* FLOPs).
+    """
+    if node.is_buffer:
+        raise LowerError(f"buffer node {node.nid} is not a schedule item")
+    out_elements = _elements(node.shape)
+    out_dtype = np.dtype(node.dtype)
+    bytes_read = sum(_elements(src.shape) * np.dtype(src.dtype).itemsize
+                     for src in node.srcs)
+    bytes_written = out_elements * out_dtype.itemsize
+    dtype = _TRACE_DTYPE.get(out_dtype.name, DType.FP32)
+    kind = node.kind
+    backward = "bwd" in kind or kind == "scatter_add"
+    phase = Phase.BACKWARD if backward else Phase.FORWARD
+
+    if kind in ("matmul", "matmul_bwd_a", "matmul_bwd_b"):
+        if kind == "matmul":
+            inner = node.srcs[0].shape[-1]
+        elif kind == "matmul_bwd_a":       # g @ b.T: inner is n
+            inner = node.srcs[0].shape[-1]
+        else:                              # a.T @ g: inner is m
+            inner = node.srcs[0].shape[-2]
+        op_class = (OpClass.BATCHED_GEMM if len(node.shape) > 2
+                    else OpClass.GEMM)
+        return Kernel(
+            name=f"autograd.{kind}", op_class=op_class, phase=phase,
+            component=Component.TRANSFORMER, region=Region.FC_GEMM,
+            flops=2 * out_elements * int(inner),
+            bytes_read=bytes_read, bytes_written=bytes_written,
+            dtype=dtype, access=AccessPattern.STREAMING,
+            n_elements=out_elements)
+    if kind in _GATHER_KINDS:
+        return Kernel(
+            name=f"autograd.{kind}", op_class=OpClass.GATHER_SCATTER,
+            phase=phase, component=Component.EMBEDDING,
+            region=Region.EMBEDDING, flops=out_elements,
+            bytes_read=bytes_read, bytes_written=bytes_written,
+            dtype=dtype, access=AccessPattern.IRREGULAR,
+            n_elements=out_elements)
+    if kind in _REDUCTION_KINDS:
+        in_elements = sum(_elements(src.shape) for src in node.srcs)
+        region = (Region.ATTENTION_SMDSM if "softmax" in kind
+                  else Region.DR_RC_LN)
+        return Kernel(
+            name=f"autograd.{kind}", op_class=OpClass.REDUCTION,
+            phase=phase, component=Component.TRANSFORMER, region=region,
+            flops=max(in_elements, out_elements),
+            bytes_read=bytes_read, bytes_written=bytes_written,
+            dtype=dtype, access=AccessPattern.STRIDED,
+            n_elements=out_elements)
+    return Kernel(
+        name=f"autograd.{kind}", op_class=OpClass.ELEMENTWISE, phase=phase,
+        component=Component.TRANSFORMER, region=Region.DR_RC_LN,
+        flops=out_elements, bytes_read=bytes_read,
+        bytes_written=bytes_written, dtype=dtype,
+        access=AccessPattern.STREAMING, n_elements=out_elements)
+
+
+def graph_iteration_trace(model: BertConfig, training: TrainingConfig):
+    """One training iteration's trace, produced by the graph path.
+
+    Builds the analytic iteration graph, validates it, and lowers its
+    schedule — the ``repro trace --from-graph`` entry point, pinned
+    bit-identical to :func:`~repro.trace.bert_trace.
+    build_iteration_trace`.
+    """
+    from repro.trace.builder import Trace
+
+    graph = bert_iteration_graph(model, training)
+    graph.validate()
+    return Trace.from_table(model, training, graph.lower())

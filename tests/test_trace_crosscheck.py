@@ -12,7 +12,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from repro.config import BERT_TINY, TrainingConfig
+from repro.config import BERT_TINY, Precision, TrainingConfig
 from repro.model import BertForPreTraining
 from repro.ops.base import Phase
 from repro.tensor import recording
@@ -71,6 +71,43 @@ class TestTraceMatchesExecution:
         batched = [r for r in matmuls if r.matmul_mnk()[3] == batch_heads]
         # Score and context products per layer.
         assert len(batched) == 2 * BERT_TINY.num_layers
+
+    def test_recorded_dtypes_match_analytic_trace(self, setup):
+        """Every executed matmul runs at the dtype the FP32 analytic trace
+        declares for its forward GEMMs."""
+        _, trace, matmuls = setup
+        analytic = {k.dtype.value[0] for k in trace.gemms()
+                    if k.phase is Phase.FORWARD}
+        assert analytic == {"fp32"}
+        assert {r.dtype for r in matmuls} == {"float32"}
+
+    def test_recorded_out_shapes_cover_hidden_dim(self, setup):
+        """Records carry output shapes; the QKV projections land on
+        ``(B, n, d_model)``."""
+        training, _, matmuls = setup
+        hidden = (training.batch_size, training.seq_len,
+                  BERT_TINY.d_model)
+        assert any(r.out_shape == hidden for r in matmuls)
+
+    def test_mixed_precision_trace_declares_fp16_gemms(self, setup):
+        """The MIXED analytic trace switches its forward GEMMs to FP16
+        while the FP32 trace stays FP32 — and the recorder distinguishes
+        the precisions the same way when fp16 arrays actually execute."""
+        training, _, _ = setup
+        mixed = build_iteration_trace(
+            BERT_TINY, TrainingConfig(batch_size=training.batch_size,
+                                      seq_len=training.seq_len,
+                                      precision=Precision.MIXED))
+        assert {k.dtype.value[0] for k in mixed.gemms()
+                if k.phase is Phase.FORWARD} == {"fp16"}
+
+        from repro.tensor import tensor
+        a = np.ones((2, 3), dtype=np.float16)
+        b = np.ones((3, 4), dtype=np.float16)
+        with recording.capture() as ops:
+            tensor(a, dtype=np.float16).matmul(tensor(b, dtype=np.float16))
+        (record,) = recording.matmuls(ops)
+        assert record.dtype == "float16"
 
     def test_no_matrix_vector_products_at_batch_one(self):
         """Takeaway 5, executed: B=1 still runs matrix-matrix products in
