@@ -47,6 +47,17 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="recompute even if a cached result exists")
     run.add_argument("--no-manifest", action="store_true",
                      help="skip writing the runs/<timestamp>.json manifest")
+    run.add_argument("--resume", action="store_true",
+                     help="re-execute only the experiments the most "
+                          "recent manifest records as failed or missing")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="seeded chaos plan injected at the runner's "
+                          "fault sites, e.g. "
+                          "'worker.kill:0.2,cache.corrupt:0.1,"
+                          "compute.slow:50ms' (see docs/robustness.md)")
+    run.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                     help="fault-plan seed (default 0); same seed, same "
+                          "injection schedule")
 
     export = commands.add_parser(
         "export",
@@ -121,6 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--event-log", default=None, metavar="PATH",
                        help="append every completed request as one JSON "
                             "line to PATH (inspect with `repro flight`)")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="seeded chaos plan injected at the serve "
+                            "fault sites, e.g. 'serve.fail:0.2,"
+                            "serve.slow:10ms'")
+    serve.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                       help="fault-plan seed (default 0)")
 
     flight = commands.add_parser(
         "flight",
@@ -177,13 +194,36 @@ def _cmd_list() -> int:
     return 0
 
 
+def _activate_faults(spec: str | None, seed: int) -> int:
+    """Install (and export to the environment) a chaos plan; 0 on ok."""
+    if spec is None:
+        return 0
+    from repro import faults
+
+    try:
+        plan = faults.FaultPlan.parse(spec, seed=seed)
+    except ValueError as error:
+        print(f"bad --faults spec: {error}", file=sys.stderr)
+        return 2
+    faults.export_to_env(plan)  # --jobs N workers inherit the plan
+    faults.activate(plan)
+    print(f"fault plan active: {plan.spec()} (seed {plan.seed})",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_run(experiment_id: str, jobs: int, write_manifest: bool,
-             fresh: bool) -> int:
+             fresh: bool, resume: bool = False,
+             faults_spec: str | None = None, fault_seed: int = 0) -> int:
     from repro.experiments.registry import REGISTRY
     from repro.runner import cache as result_cache
     from repro.runner.executor import run_experiments
-    from repro.runner.manifest import build_manifest
+    from repro.runner.manifest import (build_manifest, latest_manifest_path,
+                                       load_manifest, resume_ids)
     from repro.runner.manifest import write_manifest as write_manifest_file
+
+    if _activate_faults(faults_spec, fault_seed):
+        return 2
 
     if experiment_id == "all":
         ids = list(REGISTRY)
@@ -194,6 +234,22 @@ def _cmd_run(experiment_id: str, jobs: int, write_manifest: bool,
         print(f"valid ids: {', '.join(sorted(REGISTRY))} (or 'all')",
               file=sys.stderr)
         return 2
+
+    if resume:
+        previous = latest_manifest_path()
+        if previous is None:
+            print("--resume: no previous manifest; running everything",
+                  file=sys.stderr)
+        else:
+            remaining = resume_ids(load_manifest(previous), ids)
+            skipped = len(ids) - len(remaining)
+            print(f"--resume from {previous}: {skipped} already complete, "
+                  f"{len(remaining)} to run", file=sys.stderr)
+            if not remaining:
+                print("nothing to resume; all requested experiments "
+                      "completed")
+                return 0
+            ids = remaining
 
     results = run_experiments(ids, jobs=jobs, use_result_cache=not fresh)
 
@@ -472,13 +528,16 @@ def _cmd_grid(model_name: str, batch_sizes: str, seq_lens: str,
 
 def _cmd_serve(host: str, port: int, *, workers: int, queue_limit: int,
                hot_cache_mb: int, flight_slots: int,
-               event_log: str | None) -> int:
+               event_log: str | None, faults_spec: str | None = None,
+               fault_seed: int = 0) -> int:
     from repro.serve import App, HotCache, run_server
 
     if workers <= 0 or queue_limit <= 0 or hot_cache_mb <= 0 \
             or flight_slots <= 0:
         print("--workers, --queue-limit, --hot-cache-mb and --flight-slots "
               "must be positive", file=sys.stderr)
+        return 2
+    if _activate_faults(faults_spec, fault_seed):
         return 2
     app = App(workers=workers, queue_limit=queue_limit,
               hot_cache=HotCache(hot_cache_mb * 1024 * 1024),
@@ -540,7 +599,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args.experiment, jobs=args.jobs,
                         write_manifest=not args.no_manifest,
-                        fresh=args.fresh)
+                        fresh=args.fresh, resume=args.resume,
+                        faults_spec=args.faults,
+                        fault_seed=args.fault_seed)
     if args.command == "export":
         if args.fmt == "perfetto":
             return _cmd_export_perfetto(args.experiment, args.path,
@@ -577,7 +638,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                           queue_limit=args.queue_limit,
                           hot_cache_mb=args.hot_cache_mb,
                           flight_slots=args.flight_slots,
-                          event_log=args.event_log)
+                          event_log=args.event_log,
+                          faults_spec=args.faults,
+                          fault_seed=args.fault_seed)
     if args.command == "passes":
         return _cmd_passes()
     if args.command == "info":

@@ -10,13 +10,133 @@ complexity suggests.
 
 The simulator assumes full-duplex links (a device can send to its ring
 successor while receiving from its predecessor), as ring pipelines do.
+
+Collectives at scale do not run on pristine fabric: stragglers, degraded
+links and failed ranks dominate tail behavior.  A
+:class:`CollectiveFaults` model (deterministic — every decision is the
+same :func:`~repro.faults.plan.site_uniform` hash the fault plans use,
+so a seed fully determines the perturbed timeline) injects all three:
+per-(rank, step) straggler delays, persistent per-link bandwidth
+degradation, and failed ranks that cost one detection timeout before the
+collective re-runs among the survivors.  ``faults=None`` (the default)
+is byte-for-byte the original fault-free simulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.distributed.network import LinkSpec
+from repro.faults.plan import FaultPlan, site_uniform
+
+#: Default slowdown of a degraded link (transfer time multiplier).
+DEGRADED_LINK_FACTOR = 4.0
+
+#: Default seconds to notice a dead rank before re-running the
+#: collective among the survivors (a heartbeat interval, not a TCP
+#: timeout — the simulation models an optimistic failure detector).
+DETECT_TIMEOUT_S = 0.005
+
+
+@dataclass(frozen=True)
+class CollectiveFaults:
+    """Deterministic fault model for simulated collectives.
+
+    Every decision is a pure hash of ``(seed, site, index)`` — no RNG
+    state — so two simulations with the same faults object produce the
+    same perturbed timeline, and the property tests can assert seed
+    sensitivity without fixing an execution order.
+
+    Attributes:
+        seed: decision seed (shared with the fault-plan hash).
+        straggler_rate: probability a (rank, step) transfer straggles.
+        straggler_delay_s: extra seconds a straggling transfer takes.
+        degraded_link_rate: probability a directed link is degraded for
+            the whole collective (persistent, unlike stragglers).
+        degraded_link_factor: transfer-time multiplier on degraded links.
+        rank_fail_rate: probability each rank is dead at the start.
+        failed_ranks: explicitly dead ranks (merged with the sampled
+            ones; at least one rank always survives).
+        detect_timeout_s: seconds lost detecting dead ranks before the
+            collective restarts among the survivors.
+    """
+
+    seed: int = 0
+    straggler_rate: float = 0.0
+    straggler_delay_s: float = 0.0
+    degraded_link_rate: float = 0.0
+    degraded_link_factor: float = DEGRADED_LINK_FACTOR
+    rank_fail_rate: float = 0.0
+    failed_ranks: tuple[int, ...] = ()
+    detect_timeout_s: float = DETECT_TIMEOUT_S
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan) -> "CollectiveFaults":
+        """Map a fault plan's ``net.*`` rules onto this model.
+
+        ``net.straggle:<rate>:<delay>`` sets the straggler knobs,
+        ``net.degrade:<rate>`` the link-degradation probability and
+        ``net.rank_fail:<rate>`` the dead-rank probability — so one
+        ``--faults`` spec drives the serve path, the runner *and* the
+        simulated fabric from a single seed.
+        """
+        kwargs: dict = {"seed": plan.seed}
+        for rule in plan.rules.values():
+            if rule.site == "net.straggle":
+                kwargs["straggler_rate"] = rule.rate
+                if rule.delay_s:
+                    kwargs["straggler_delay_s"] = rule.delay_s
+            elif rule.site == "net.degrade":
+                kwargs["degraded_link_rate"] = rule.rate
+            elif rule.site == "net.rank_fail":
+                kwargs["rank_fail_rate"] = rule.rate
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------ decisions
+    def straggle_s(self, rank: int, step: int) -> float:
+        """Extra delay of ``rank``'s transfer at ``step`` (0.0 = none)."""
+        if self.straggler_rate <= 0.0 or self.straggler_delay_s <= 0.0:
+            return 0.0
+        if site_uniform(self.seed, f"net.straggle|{rank}",
+                        step) < self.straggler_rate:
+            return self.straggler_delay_s
+        return 0.0
+
+    def link_factor(self, source: int, destination: int) -> float:
+        """Transfer-time multiplier of one directed link (persistent)."""
+        if self.degraded_link_rate <= 0.0:
+            return 1.0
+        if site_uniform(self.seed, f"net.degrade|{source}->{destination}",
+                        0) < self.degraded_link_rate:
+            return self.degraded_link_factor
+        return 1.0
+
+    def failed(self, devices: int) -> tuple[int, ...]:
+        """The dead ranks among ``devices`` (at least one survives)."""
+        ranks = {r for r in self.failed_ranks if 0 <= r < devices}
+        if self.rank_fail_rate > 0.0:
+            ranks.update(r for r in range(devices)
+                         if site_uniform(self.seed, "net.rank_fail",
+                                         r) < self.rank_fail_rate)
+        while len(ranks) >= devices:  # someone must hold the result
+            ranks.discard(min(ranks))
+        return tuple(sorted(ranks))
+
+
+def _survivors(devices: int, faults: CollectiveFaults | None
+               ) -> tuple[list[int], tuple[int, ...], float]:
+    """(surviving ranks, failed ranks, start offset) of one collective.
+
+    Dead ranks cost one detection timeout, after which the collective
+    runs among the survivors — the elastic-training recovery model.
+    """
+    if faults is None:
+        return list(range(devices)), (), 0.0
+    failed = faults.failed(devices)
+    if not failed:
+        return list(range(devices)), (), 0.0
+    survivors = [r for r in range(devices) if r not in failed]
+    return survivors, failed, faults.detect_timeout_s
 
 
 @dataclass(frozen=True)
@@ -51,24 +171,40 @@ class CollectiveRun:
     algorithm: str
     devices: int
     events: list[TransferEvent]
+    failed_ranks: tuple[int, ...] = ()
+    detect_s: float = field(default=0.0)
 
     @property
     def completion_s(self) -> float:
-        """Time at which every device holds the final result."""
-        return max((e.end_s for e in self.events), default=0.0)
+        """Time at which every surviving device holds the final result.
+
+        Includes the failure-detection offset when ranks died: event
+        timestamps already start at ``detect_s``, and a collective whose
+        survivors number one still paid the detection cost.
+        """
+        return max((e.end_s for e in self.events), default=self.detect_s)
 
     @property
     def total_bytes_on_wire(self) -> int:
         return sum(e.n_bytes for e in self.events)
 
 
-def simulate_ring_allreduce(n_bytes: int, devices: int,
-                            link: LinkSpec) -> CollectiveRun:
+def simulate_ring_allreduce(n_bytes: int, devices: int, link: LinkSpec,
+                            faults: CollectiveFaults | None = None
+                            ) -> CollectiveRun:
     """Simulate ring AllReduce: reduce-scatter then all-gather.
 
     Each of the ``2*(D-1)`` steps moves one ``n_bytes/D`` chunk per device
     simultaneously; a device's next step cannot start before its previous
     send and the matching receive finished.
+
+    With ``faults``, dead ranks drop out of the ring (one detection
+    timeout, then the survivors form a smaller ring over larger chunks),
+    degraded links multiply their transfer time and straggling ranks add
+    their delay — and because the ring serializes around the slowest
+    member, a single straggler stalls every rank's next step, which is
+    exactly the tail-latency amplification the paper's scale-out
+    discussion worries about.
     """
     if devices < 1:
         raise ValueError("devices must be >= 1")
@@ -76,30 +212,49 @@ def simulate_ring_allreduce(n_bytes: int, devices: int,
     if devices == 1 or n_bytes == 0:
         return CollectiveRun("ring-allreduce", devices, events)
 
-    chunk = n_bytes / devices
+    survivors, failed, offset = _survivors(devices, faults)
+    ring = len(survivors)
+    if ring == 1:
+        return CollectiveRun("ring-allreduce", devices, events,
+                             failed_ranks=failed, detect_s=offset)
+
+    chunk = n_bytes / ring
     step_time = link.latency_s + chunk / link.bandwidth
-    clock = [0.0] * devices
-    for step in range(2 * (devices - 1)):
+    clock = [offset] * ring
+    for step in range(2 * (ring - 1)):
         # All devices exchange simultaneously; each rank sends to rank+1.
-        starts = [max(clock[rank], clock[(rank - 1) % devices])
-                  for rank in range(devices)]
-        for rank in range(devices):
-            start = starts[rank]
-            end = start + step_time
+        starts = [max(clock[i], clock[(i - 1) % ring])
+                  for i in range(ring)]
+        for i in range(ring):
+            source = survivors[i]
+            destination = survivors[(i + 1) % ring]
+            cost = step_time
+            if faults is not None:
+                cost = (step_time * faults.link_factor(source, destination)
+                        + faults.straggle_s(source, step))
+            start = starts[i]
+            end = start + cost
             events.append(TransferEvent(
-                step=step, source=rank, destination=(rank + 1) % devices,
+                step=step, source=source, destination=destination,
                 n_bytes=int(chunk), start_s=start, end_s=end))
-            clock[rank] = end
-    return CollectiveRun("ring-allreduce", devices, events)
+            clock[i] = end
+    return CollectiveRun("ring-allreduce", devices, events,
+                         failed_ranks=failed, detect_s=offset)
 
 
-def simulate_tree_allreduce(n_bytes: int, devices: int,
-                            link: LinkSpec) -> CollectiveRun:
+def simulate_tree_allreduce(n_bytes: int, devices: int, link: LinkSpec,
+                            faults: CollectiveFaults | None = None
+                            ) -> CollectiveRun:
     """Simulate binary-tree AllReduce: reduce up, broadcast down.
 
     ``2 * ceil(log2 D)`` rounds moving the *full* payload each hop —
     latency-optimal, bandwidth-suboptimal; the classic contrast to the
     ring (good for small payloads / many latency-bound steps).
+
+    Under ``faults`` the same model as the ring applies, but the blast
+    radius differs: a straggling leaf only delays its own subtree's
+    reduce path, while a straggler near the root delays everyone —
+    trees localize stragglers where rings globalize them.
     """
     if devices < 1:
         raise ValueError("devices must be >= 1")
@@ -107,20 +262,34 @@ def simulate_tree_allreduce(n_bytes: int, devices: int,
     if devices == 1 or n_bytes == 0:
         return CollectiveRun("tree-allreduce", devices, events)
 
+    survivors, failed, offset = _survivors(devices, faults)
+    tree = len(survivors)
+    if tree == 1:
+        return CollectiveRun("tree-allreduce", devices, events,
+                             failed_ranks=failed, detect_s=offset)
+
     hop = link.latency_s + n_bytes / link.bandwidth
-    clock = [0.0] * devices
+
+    def cost(source: int, destination: int, step: int) -> float:
+        if faults is None:
+            return hop
+        return (hop * faults.link_factor(source, destination)
+                + faults.straggle_s(source, step))
+
+    clock = [offset] * tree
     step = 0
 
     # Reduce phase: pairs at stride 1, 2, 4, ... send to the lower rank.
     stride = 1
-    while stride < devices:
-        for low in range(0, devices, 2 * stride):
+    while stride < tree:
+        for low in range(0, tree, 2 * stride):
             high = low + stride
-            if high < devices:
+            if high < tree:
+                source, destination = survivors[high], survivors[low]
                 start = max(clock[low], clock[high])
-                end = start + hop
-                events.append(TransferEvent(step=step, source=high,
-                                            destination=low,
+                end = start + cost(source, destination, step)
+                events.append(TransferEvent(step=step, source=source,
+                                            destination=destination,
                                             n_bytes=n_bytes, start_s=start,
                                             end_s=end))
                 clock[low] = clock[high] = end
@@ -130,36 +299,45 @@ def simulate_tree_allreduce(n_bytes: int, devices: int,
     # Broadcast phase: mirror image.
     stride //= 2
     while stride >= 1:
-        for low in range(0, devices, 2 * stride):
+        for low in range(0, tree, 2 * stride):
             high = low + stride
-            if high < devices:
+            if high < tree:
+                source, destination = survivors[low], survivors[high]
                 start = clock[low]
-                end = start + hop
-                events.append(TransferEvent(step=step, source=low,
-                                            destination=high,
+                end = start + cost(source, destination, step)
+                events.append(TransferEvent(step=step, source=source,
+                                            destination=destination,
                                             n_bytes=n_bytes, start_s=start,
                                             end_s=end))
                 clock[high] = end
                 clock[low] = end
         stride //= 2
         step += 1
-    return CollectiveRun("tree-allreduce", devices, events)
+    return CollectiveRun("tree-allreduce", devices, events,
+                         failed_ranks=failed, detect_s=offset)
 
 
 def simulate_hierarchical_allreduce(n_bytes: int, *, nodes: int,
                                     devices_per_node: int,
                                     intra_link: LinkSpec,
-                                    inter_link: LinkSpec) -> CollectiveRun:
+                                    inter_link: LinkSpec,
+                                    faults: CollectiveFaults | None = None
+                                    ) -> CollectiveRun:
     """Two-level AllReduce: ring within each node, ring across nodes on
     the slow link with the reduced payload, then intra-node broadcast.
 
     This is the topology-aware layout the paper's Sec. 5.2 alludes to
     ("algorithms are often optimized for the underlying substrate").
+
+    ``faults`` applies to the *inter-node* ring: the slow cross-node
+    fabric is where stragglers, degraded links and whole-node failures
+    live (a rank in that ring is a node, so ``failed_ranks`` there
+    model dead hosts, the elastic-training case).
     """
     if nodes < 1 or devices_per_node < 1:
         raise ValueError("nodes and devices_per_node must be >= 1")
     intra = simulate_ring_allreduce(n_bytes, devices_per_node, intra_link)
-    inter = simulate_ring_allreduce(n_bytes, nodes, inter_link)
+    inter = simulate_ring_allreduce(n_bytes, nodes, inter_link, faults)
 
     offset = intra.completion_s
     events = list(intra.events)
@@ -175,4 +353,6 @@ def simulate_hierarchical_allreduce(n_bytes: int, *, nodes: int,
             step=10_000, source=0, destination=1, n_bytes=n_bytes,
             start_s=offset, end_s=offset + hop))
     return CollectiveRun("hierarchical-allreduce",
-                         nodes * devices_per_node, events)
+                         nodes * devices_per_node, events,
+                         failed_ranks=inter.failed_ranks,
+                         detect_s=inter.detect_s)

@@ -1,0 +1,35 @@
+"""Deterministic chaos: seeded fault plans injected at named sites.
+
+Compile a spec into a plan, activate it, and the instrumented
+subsystems — the runner's disk cache, the experiment executor, the
+profiling server, the collective simulator — start failing on a
+reproducible schedule::
+
+    from repro import faults
+
+    plan = faults.FaultPlan.parse(
+        "cache.corrupt:0.1,worker.kill:0.2,compute.slow:50ms", seed=7)
+    faults.activate(plan)
+
+The headline invariant (pinned by ``tests/test_chaos_determinism.py``
+and ``scripts/check_chaos.py``): under any seeded plan, completed
+results are byte-identical to the fault-free run.  Faults cost time —
+retries, recomputes, sleeps — never correctness.
+"""
+
+from repro.faults.plan import (FaultDecision, FaultPlan, FaultRule,
+                               parse_duration, parse_rule, site_uniform)
+from repro.faults.sites import (FAULTS_ENV, FAULTS_SEED_ENV, InjectedFault,
+                                InjectedWorkerKill, activate, active_plan,
+                                corrupt_bytes, deactivate, decide,
+                                export_to_env, inject, inject_delay,
+                                inject_failure, plan_from_env)
+
+__all__ = [
+    "FaultDecision", "FaultPlan", "FaultRule", "parse_duration",
+    "parse_rule", "site_uniform",
+    "FAULTS_ENV", "FAULTS_SEED_ENV", "InjectedFault", "InjectedWorkerKill",
+    "activate", "active_plan", "corrupt_bytes", "deactivate", "decide",
+    "export_to_env", "inject", "inject_delay", "inject_failure",
+    "plan_from_env",
+]

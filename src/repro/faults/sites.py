@@ -1,0 +1,170 @@
+"""Named fault sites and the process-wide active plan.
+
+A *fault site* is a line in a production subsystem where a failure could
+really happen: a pickle load off disk (``cache.corrupt``), an experiment
+worker mid-run (``worker.kill``), an engine compute (``compute.slow`` /
+``compute.fail``), a serve-side render (``serve.fail`` / ``serve.slow``).
+Instrumented code calls the helpers here at those lines; with no active
+plan the helpers are a single ``None`` check (the chaos benchmark pins
+the inactive overhead below 2%), and with one they consult the plan's
+deterministic schedule.
+
+Activation is either explicit (:func:`activate`, used by tests and the
+chaos harness) or environment-driven: ``REPRO_FAULTS`` holds a spec
+string and ``REPRO_FAULTS_SEED`` the seed, read once lazily — which is
+exactly how a plan reaches ``repro run --jobs N`` worker processes.
+
+Every injection increments ``fault.injected{site=}`` and annotates the
+current span with ``fault.site`` / ``fault.index``, so injected faults
+are visible in span dumps, the flight recorder and ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.faults.plan import FaultDecision, FaultPlan
+from repro.obs import metrics, spans
+
+#: Environment variables carrying a plan into child processes.
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+
+_INJECTED = metrics.counter(
+    "fault.injected", "fault injections by site")
+_DELAY_S = metrics.counter(
+    "fault.delay_seconds", "seconds of injected slowdown by site")
+
+
+class InjectedFault(Exception):
+    """A failure scheduled by the active :class:`FaultPlan`.
+
+    Transient by construction — the resilience policies (runner retries,
+    the serve breaker) are expected to absorb it; it carries the site and
+    occurrence index so retries and tests can reason about the schedule.
+    """
+
+    def __init__(self, decision: FaultDecision):
+        super().__init__(f"injected fault at {decision.site} "
+                         f"(occurrence {decision.index})")
+        self.site = decision.site
+        self.index = decision.index
+
+
+class InjectedWorkerKill(InjectedFault):
+    """The ``worker.kill`` site: models an experiment worker dying."""
+
+
+_plan: FaultPlan | None = None
+_env_loaded = False
+
+
+def activate(plan: FaultPlan | None) -> None:
+    """Install ``plan`` process-wide (``None`` deactivates)."""
+    global _plan, _env_loaded
+    _plan = plan
+    _env_loaded = True  # explicit activation overrides the environment
+
+
+def deactivate() -> None:
+    """Remove any active plan and forget the environment read."""
+    global _plan, _env_loaded
+    _plan = None
+    _env_loaded = False
+
+
+def plan_from_env() -> FaultPlan | None:
+    """The plan ``REPRO_FAULTS``/``REPRO_FAULTS_SEED`` describe, if any."""
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return None
+    return FaultPlan.parse(spec, seed=int(os.environ.get(FAULTS_SEED_ENV,
+                                                         "0")))
+
+
+def export_to_env(plan: FaultPlan) -> None:
+    """Publish ``plan`` to the environment so child processes inherit it."""
+    os.environ[FAULTS_ENV] = plan.spec()
+    os.environ[FAULTS_SEED_ENV] = str(plan.seed)
+
+
+def active_plan() -> FaultPlan | None:
+    """The process-wide plan (reads the environment once, lazily)."""
+    global _plan, _env_loaded
+    if not _env_loaded:
+        _plan = plan_from_env()
+        _env_loaded = True
+    return _plan
+
+
+# ------------------------------------------------------------------ helpers
+def decide(site: str) -> FaultDecision | None:
+    """Consume one occurrence of ``site``; the injection decision or None.
+
+    The inactive fast path — no plan, or a plan without this site — is a
+    global read plus (with a plan) one dict lookup.
+    """
+    plan = _plan if _env_loaded else active_plan()
+    if plan is None:
+        return None
+    decision = plan.decide(site)
+    if decision is None:
+        return None
+    _INJECTED.inc(site=site)
+    spans.annotate(**{"fault.site": site, "fault.index": decision.index})
+    return decision
+
+
+def inject(site: str) -> None:
+    """Apply ``site``'s scheduled effect: sleep for delay rules, raise
+    :class:`InjectedFault` for failure rules, nothing otherwise."""
+    decision = decide(site)
+    if decision is None:
+        return
+    if decision.delay_s:
+        _DELAY_S.inc(decision.delay_s, site=site)
+        time.sleep(decision.delay_s)
+        return
+    raise InjectedFault(decision)
+
+
+def inject_failure(site: str, kind: type[InjectedFault] = InjectedFault
+                   ) -> None:
+    """Raise ``kind`` when ``site`` is scheduled (delay rules also raise —
+    the site models a failure, the delay prices its detection)."""
+    decision = decide(site)
+    if decision is None:
+        return
+    if decision.delay_s:
+        _DELAY_S.inc(decision.delay_s, site=site)
+        time.sleep(decision.delay_s)
+    raise kind(decision)
+
+
+def inject_delay(site: str) -> float:
+    """Sleep when ``site`` is scheduled; returns the seconds slept."""
+    decision = decide(site)
+    if decision is None or not decision.delay_s:
+        return 0.0
+    _DELAY_S.inc(decision.delay_s, site=site)
+    time.sleep(decision.delay_s)
+    return decision.delay_s
+
+
+def corrupt_bytes(site: str, data: bytes) -> bytes:
+    """Flip one byte of ``data`` when ``site`` is scheduled.
+
+    The cache calls this on the raw bytes it just read, so an injected
+    corruption exercises the *real* checksum/quarantine path end to end.
+    Empty payloads pass through (nothing to corrupt).
+    """
+    if not data:
+        return data
+    decision = decide(site)
+    if decision is None:
+        return data
+    position = decision.index % len(data)
+    corrupted = bytearray(data)
+    corrupted[position] ^= 0xFF
+    return bytes(corrupted)

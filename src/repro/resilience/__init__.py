@@ -1,0 +1,23 @@
+"""Resilience policies: retry, timeout budgets, circuit breaking.
+
+The counterpart of :mod:`repro.faults` — the faults layer schedules
+failures deterministically, this layer absorbs them: the experiment
+runner retries transient failures under a :class:`Retry` policy, the
+profiling server guards its engine behind a :class:`CircuitBreaker`
+with per-route :class:`Timeout` budgets and degrades to stale bytes
+when the circuit opens.  All policies are deterministic (seeded jitter,
+injectable clocks) so chaos runs reproduce exactly.
+"""
+
+from repro.resilience.breaker import (CLOSED, HALF_OPEN, OPEN,
+                                      CircuitBreaker)
+from repro.resilience.retry import (TRANSIENT, Retry, RetryBudgetExceeded,
+                                    TransientError)
+from repro.resilience.timeout import (DEFAULT_BUDGET_S, DEFAULT_BUDGETS_S,
+                                      Deadline, Timeout)
+
+__all__ = [
+    "CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker",
+    "TRANSIENT", "Retry", "RetryBudgetExceeded", "TransientError",
+    "DEFAULT_BUDGET_S", "DEFAULT_BUDGETS_S", "Deadline", "Timeout",
+]

@@ -1,0 +1,137 @@
+"""Circuit breaker guarding the profiling service's engine computes.
+
+Plain three-state breaker (the Nygard pattern), sized for the serve
+path: consecutive compute failures beyond ``failure_threshold`` open the
+circuit; while open, callers are refused *before* consuming a worker
+slot (the app then degrades to stale bytes or a 503); after
+``reset_timeout_s`` one probe request is admitted half-open — success
+closes the circuit, failure re-opens it and restarts the clock.
+
+Thread-safe (the serve worker pool records outcomes from worker threads
+while the event loop asks :meth:`allow`), and the clock is injectable so
+the state machine is tested without sleeping.  Transitions increment
+``resilience.breaker.transitions{to=}`` and the current state is
+exported as the ``resilience.breaker.open`` gauge plus the ``/stats``
+snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import metrics
+
+_TRANSITIONS = metrics.counter(
+    "resilience.breaker.transitions", "breaker state changes by target")
+_REJECTED = metrics.counter(
+    "resilience.breaker.rejected", "calls refused while the breaker is open")
+_OPEN = metrics.gauge(
+    "resilience.breaker.open", "1 while the breaker is open")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe."""
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 5.0, *, name: str = "engine",
+                 clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.opens = 0
+
+    # ---------------------------------------------------------------- state
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout_s):
+            self._transition(HALF_OPEN)
+            self._probing = False
+
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        _TRANSITIONS.inc(to=state, breaker=self.name)
+        _OPEN.set(1 if state == OPEN else 0, breaker=self.name)
+        if state == OPEN:
+            self.opens += 1
+            self._opened_at = self._clock()
+
+    # ----------------------------------------------------------------- api
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Closed: always.  Open: no (counted as rejected) until the reset
+        timeout elapses.  Half-open: exactly one in-flight probe.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            _REJECTED.inc(breaker=self.name)
+            return False
+
+    def record_success(self) -> None:
+        """A guarded call completed; closes a half-open circuit."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A guarded call failed; may open the circuit."""
+        with self._lock:
+            self._probing = False
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if (self._state == CLOSED
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._transition(OPEN)
+
+    def retry_after_s(self) -> float:
+        """Seconds until an open circuit admits its half-open probe."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            remaining = (self.reset_timeout_s
+                         - (self._clock() - self._opened_at))
+            return max(0.0, remaining)
+
+    def snapshot(self) -> dict:
+        """JSON-able state for ``/stats`` and tests."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+                "opens": self.opens,
+            }

@@ -1,0 +1,90 @@
+"""Per-route timeout budgets and deadline arithmetic.
+
+A :class:`Timeout` is a table of wall-clock budgets by route name with a
+default for everything unnamed; the async server wraps each computation
+in :func:`asyncio.wait_for` with the route's budget, and sync code can
+carve a :class:`Deadline` to thread through nested calls (the runner's
+retry policy consumes one as ``deadline_s``).
+
+Budgets are generous by design — the engine legitimately spends seconds
+on a cold BERT-Large grid — so a timeout firing means something is
+actually wedged (an injected ``serve.slow`` storm, a worker livelock),
+at which point the breaker records the failure and the app degrades.
+Expiries are counted per route (``resilience.timeouts``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import metrics
+
+_TIMEOUTS = metrics.counter(
+    "resilience.timeouts", "budget expiries by route")
+
+#: Default per-route budgets (seconds).  ``None`` = no limit.
+DEFAULT_BUDGETS_S: dict[str, float] = {
+    "profile": 30.0,
+    "perfetto": 30.0,
+    "grid": 120.0,
+}
+
+#: Budget applied to routes absent from the table.
+DEFAULT_BUDGET_S = 60.0
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Wall-clock budgets by route.
+
+    Attributes:
+        budgets_s: route -> seconds.
+        default_s: budget for unnamed routes (``None`` disables).
+    """
+
+    budgets_s: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_BUDGETS_S))
+    default_s: float | None = DEFAULT_BUDGET_S
+
+    def budget_s(self, route: str) -> float | None:
+        """The budget for ``route`` (``None`` = unlimited)."""
+        return self.budgets_s.get(route, self.default_s)
+
+    def expired(self, route: str) -> None:
+        """Record that ``route``'s budget fired."""
+        _TIMEOUTS.inc(route=route)
+
+    def scaled(self, factor: float) -> "Timeout":
+        """A copy with every budget multiplied by ``factor`` (tests
+        shrink budgets to milliseconds instead of sleeping)."""
+        return Timeout(
+            budgets_s={route: budget * factor
+                       for route, budget in self.budgets_s.items()},
+            default_s=None if self.default_s is None
+            else self.default_s * factor)
+
+
+@dataclass
+class Deadline:
+    """A point in time work must finish by.
+
+    Attributes:
+        budget_s: total seconds granted at creation.
+    """
+
+    budget_s: float
+    clock: object = time.monotonic
+    started: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.budget_s <= 0:
+            raise ValueError("budget_s must be positive")
+        self.started = self.clock()
+
+    def remaining_s(self) -> float:
+        """Seconds left (clamped at zero)."""
+        return max(0.0, self.budget_s - (self.clock() - self.started))
+
+    def expired(self) -> bool:
+        return self.remaining_s() == 0.0

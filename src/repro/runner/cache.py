@@ -30,10 +30,19 @@ the old complete entry, the new complete entry, or a miss; never a torn
 file.  Two racing writers of one key both write valid entries and the
 last ``replace`` wins, which is harmless because entries are
 content-addressed: every writer of a key serializes the *same* value.
-A corrupted entry (torn by a crash, not by a race) is deleted and
-recomputed rather than crashing the run.  The per-instance
-:class:`CacheStats` counters are guarded by a lock so concurrent
-threads cannot lose increments.
+The per-instance :class:`CacheStats` counters are guarded by a lock so
+concurrent threads cannot lose increments.
+
+Integrity: every entry is framed as ``RBC1 + CRC32(body) + body`` so a
+corrupt or truncated entry — torn by a crash, bit-rotted on disk, or
+injected by the ``cache.corrupt`` fault site — is *detected* on ``get``
+before the pickle ever reaches the unpickler.  A bad entry is moved to
+``<root>/corrupt/`` (quarantined for post-mortem rather than deleted),
+counted (``stats.corrupt`` and the ``result=corrupt`` label of
+``result_cache.requests``), and reported as a miss, so the caller
+recomputes and rewrites a clean entry instead of crashing the run.
+Unframed entries from older versions still load (and still quarantine
+when their pickle is unreadable).
 
 The cache directory defaults to ``~/.cache/repro-bert`` and can be moved
 with the ``REPRO_CACHE_DIR`` environment variable or
@@ -48,13 +57,16 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import tempfile
 import threading
+import zlib
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
 
 from repro.config import BertConfig, TrainingConfig
+from repro.faults import sites as fault_sites
 from repro.hw.device import DeviceModel
 from repro.obs import metrics, spans
 from repro.profiler.profiler import Profile
@@ -69,6 +81,13 @@ _CACHE_WRITES = metrics.counter(
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Entry framing: magic + big-endian CRC32 of the pickled body.
+ENTRY_MAGIC = b"RBC1"
+_HEADER = struct.Struct(">4sI")
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = "corrupt"
 
 #: Packages whose source determines a (trace, profile) result.  A change to
 #: any file under them rotates the cache key, so stale entries from an older
@@ -155,16 +174,19 @@ class CacheStats:
     Attributes:
         hits: entries served from disk.
         misses: keys that had to be recomputed.
-        evictions: corrupted/unreadable entries that were discarded.
+        evictions: corrupted/unreadable entries that left the cache.
+        corrupt: entries that failed the CRC/pickle check and were
+            quarantined (a subset of ``evictions``).
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+                "evictions": self.evictions, "corrupt": self.corrupt}
 
 
 @dataclass
@@ -234,32 +256,72 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry to ``<root>/corrupt/`` for post-mortem.
+
+        The ``.corrupt`` suffix keeps quarantined files out of
+        :meth:`entries`; quarantine failing (another reader won the
+        race, read-only filesystem) degrades to a plain unlink.
+        """
+        target = self.root / QUARANTINE_DIR / f"{path.stem}.corrupt"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _record_corrupt(self, path: Path) -> None:
+        with self._lock:
+            self.stats.corrupt += 1
+            self.stats.evictions += 1
+            self.stats.misses += 1
+        _CACHE_REQUESTS.inc(result="miss")
+        _CACHE_REQUESTS.inc(result="eviction")
+        _CACHE_REQUESTS.inc(result="corrupt")
+        spans.annotate(result="corrupt")
+        self._quarantine(path)
+
     def get_payload(self, key: str):
-        """Load any pickled entry; ``None`` on miss/corruption."""
+        """Load any pickled entry; ``None`` on miss/corruption.
+
+        An entry whose CRC32 frame does not verify — or whose pickle is
+        unreadable — is quarantined and reported as a miss: corruption
+        costs a recompute, never a crash.
+        """
         path = self._path(key)
         with spans.span("cache.get", key=key[:12]):
             try:
-                with open(path, "rb") as handle:
-                    payload = pickle.load(handle)
+                data = path.read_bytes()
             except FileNotFoundError:
                 with self._lock:
                     self.stats.misses += 1
                 _CACHE_REQUESTS.inc(result="miss")
                 spans.annotate(result="miss")
                 return None
+            except OSError:
+                self._record_corrupt(path)
+                return None
+            data = fault_sites.corrupt_bytes("cache.corrupt", data)
+            if data.startswith(ENTRY_MAGIC):
+                if len(data) < _HEADER.size:
+                    self._record_corrupt(path)
+                    return None
+                _, checksum = _HEADER.unpack_from(data)
+                body = data[_HEADER.size:]
+                if zlib.crc32(body) != checksum:
+                    self._record_corrupt(path)
+                    return None
+            else:
+                body = data  # unframed entry from an older version
+            try:
+                payload = pickle.loads(body)
             except Exception:
-                # Torn write, truncation, or a pickle from an incompatible
-                # version: drop the entry and recompute.
-                with self._lock:
-                    self.stats.evictions += 1
-                    self.stats.misses += 1
-                _CACHE_REQUESTS.inc(result="miss")
-                _CACHE_REQUESTS.inc(result="eviction")
-                spans.annotate(result="eviction")
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                # A frame-valid pickle failing to load means an
+                # incompatible version, not rot; quarantine either way.
+                self._record_corrupt(path)
                 return None
             with self._lock:
                 self.stats.hits += 1
@@ -275,9 +337,11 @@ class ResultCache:
                                             suffix=".tmp")
         with spans.span("cache.put", key=key[:12]):
             try:
+                body = pickle.dumps(payload,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
                 with os.fdopen(handle, "wb") as tmp:
-                    pickle.dump(payload, tmp,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    tmp.write(_HEADER.pack(ENTRY_MAGIC, zlib.crc32(body)))
+                    tmp.write(body)
                 os.replace(tmp_name, path)
             except BaseException:
                 try:

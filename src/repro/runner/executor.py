@@ -25,6 +25,16 @@ pickled :class:`~repro.obs.spans.TraceContext` and is replayed there via
 the parent named.  The id is stamped on the :class:`ExperimentResult`
 and therefore into the run manifest, giving ``repro run all --jobs N``
 per-experiment trace ids that correlate manifests with span dumps.
+
+Transient failures — injected faults from an active
+:class:`~repro.faults.plan.FaultPlan` (the ``worker.kill`` site models a
+worker dying mid-experiment) and anything raising
+:class:`~repro.resilience.retry.TransientError` — are retried in place
+under a deterministic :class:`~repro.resilience.retry.Retry` policy
+before the experiment is recorded as failed; the retry count rides home
+in the result counters and the manifest.  Because every experiment is a
+pure function of the source tree, a retried attempt produces the *same*
+bytes a fault-free run would — the chaos-determinism tests pin this.
 """
 
 from __future__ import annotations
@@ -34,8 +44,16 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.faults import sites as fault_sites
 from repro.obs import metrics, spans
+from repro.resilience.retry import Retry
 from repro.runner import telemetry
+
+#: Default transient-failure policy for one experiment: a handful of
+#: quick attempts (experiments are seconds, backoff need not be polite)
+#: bounded so a permanently failing experiment cannot stall the batch.
+DEFAULT_RETRY = Retry(max_attempts=6, base_delay_s=0.01,
+                      max_delay_s=0.25, deadline_s=120.0)
 
 
 @dataclass
@@ -48,7 +66,8 @@ class ExperimentResult:
         output: the rendered report (empty on failure).
         error: formatted traceback (empty on success).
         duration_s: wall-clock seconds spent in ``run`` + ``render``.
-        counters: telemetry counters (cache hits/misses, kernels, points).
+        counters: telemetry counters (cache hits/misses, kernels, points,
+            transient-failure retries).
         bands: ``{"passed": n, "failed": m}`` when the experiment's rows
             carry a boolean ``holds`` verdict, else ``None``.
         spans: per-span-name ``{count, total_s, max_s}`` summary of the
@@ -96,7 +115,8 @@ def _band_summary(result: object) -> dict[str, int] | None:
 
 
 def run_one(experiment_id: str, use_result_cache: bool = True,
-            trace_context: dict | None = None) -> ExperimentResult:
+            trace_context: dict | None = None,
+            retry: Retry | None = None) -> ExperimentResult:
     """Run a single registered experiment under telemetry, never raising.
 
     Successful results (rendered output + band verdicts) are stored in
@@ -111,6 +131,11 @@ def run_one(experiment_id: str, use_result_cache: bool = True,
     with :meth:`~repro.obs.spans.SpanTracer.attach` so every span this
     experiment opens joins the caller's trace; when absent a fresh trace
     id is generated locally.
+
+    ``retry`` is the transient-failure policy (:data:`DEFAULT_RETRY`
+    when ``None``); each attempt passes the ``worker.kill`` and
+    ``compute.slow`` fault sites, so a seeded chaos plan exercises the
+    retry path deterministically.
     """
     from repro.experiments.registry import REGISTRY
     from repro.runner.cache import get_cache
@@ -144,6 +169,22 @@ def run_one(experiment_id: str, use_result_cache: bool = True,
                                                    registry.snapshot()),
                     trace_id=context.trace_id)
 
+    policy = retry if retry is not None else DEFAULT_RETRY
+    retries = 0
+
+    def _count_retry(_attempt: int, _error: BaseException) -> None:
+        nonlocal retries
+        retries += 1
+
+    def _attempt() -> tuple[object, str]:
+        # The fault sites fire inside the retried scope: a scheduled
+        # worker kill or slow compute is absorbed here, not surfaced.
+        fault_sites.inject_failure("worker.kill",
+                                   fault_sites.InjectedWorkerKill)
+        fault_sites.inject_delay("compute.slow")
+        result = experiment.run()
+        return result, experiment.render(result)
+
     with spans.get_tracer().capture() as scope, \
             telemetry.collect() as counters:
         with spans.attach(context), \
@@ -151,14 +192,14 @@ def run_one(experiment_id: str, use_result_cache: bool = True,
                            category="experiment"):
             try:
                 experiment = REGISTRY[experiment_id]
-                result = experiment.run()
-                output = experiment.render(result)
-            except Exception:
+                result, output = policy.call(
+                    _attempt, token=experiment_id, on_retry=_count_retry)
+            except Exception:  # incl. RetryBudgetExceeded after giveup
                 return ExperimentResult(
                     experiment_id=experiment_id, ok=False,
                     error=traceback.format_exc(),
                     duration_s=time.perf_counter() - started,
-                    counters=counters.as_dict(),
+                    counters={**counters.as_dict(), "retries": retries},
                     trace_id=context.trace_id)
     bands = _band_summary(result)
     if cache_key is not None:
@@ -171,7 +212,8 @@ def run_one(experiment_id: str, use_result_cache: bool = True,
     return ExperimentResult(
         experiment_id=experiment_id, ok=True, output=output,
         duration_s=duration_s,
-        counters={**counters.as_dict(), "experiment_cached": 0},
+        counters={**counters.as_dict(), "experiment_cached": 0,
+                  "retries": retries},
         bands=bands,
         spans=spans.aggregate_spans(scope.spans),
         metrics=metrics.diff_snapshots(before, registry.snapshot()),
@@ -179,7 +221,8 @@ def run_one(experiment_id: str, use_result_cache: bool = True,
 
 
 def run_experiments(experiment_ids: list[str], jobs: int = 1,
-                    use_result_cache: bool = True
+                    use_result_cache: bool = True,
+                    retry: Retry | None = None
                     ) -> list[ExperimentResult]:
     """Run a batch of experiments; results in ``experiment_ids`` order.
 
@@ -190,6 +233,9 @@ def run_experiments(experiment_ids: list[str], jobs: int = 1,
             is a hit for the others on the next run.
         use_result_cache: serve unchanged experiments from the result
             cache; pass ``False`` (CLI ``--fresh``) to force recompute.
+        retry: transient-failure policy applied inside each experiment
+            (:data:`DEFAULT_RETRY` when ``None``; frozen, so it pickles
+            into worker processes unchanged).
 
     One experiment failing — even a worker process dying — never aborts
     the rest of the batch.  Trace ids are assigned here, in the parent,
@@ -200,13 +246,14 @@ def run_experiments(experiment_ids: list[str], jobs: int = 1,
     contexts = {eid: spans.TraceContext(trace_id=spans.new_trace_id())
                 for eid in experiment_ids}
     if jobs <= 1 or len(experiment_ids) <= 1:
-        return [run_one(eid, use_result_cache, contexts[eid].as_dict())
+        return [run_one(eid, use_result_cache, contexts[eid].as_dict(),
+                        retry)
                 for eid in experiment_ids]
 
     results: dict[str, ExperimentResult] = {}
     with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {pool.submit(run_one, eid, use_result_cache,
-                               contexts[eid].as_dict()): eid
+                               contexts[eid].as_dict(), retry): eid
                    for eid in experiment_ids}
         for future in concurrent.futures.as_completed(futures):
             eid = futures[future]

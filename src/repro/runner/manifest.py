@@ -116,6 +116,20 @@ def load_manifest(path: Path) -> dict:
     return json.loads(Path(path).read_text())
 
 
+def resume_ids(manifest: dict, requested: list[str]) -> list[str]:
+    """The subset of ``requested`` a resumed run still has to execute.
+
+    An experiment is *done* when the manifest records it with ``ok``;
+    failed and missing experiments are returned, in request order — the
+    contract behind ``repro run all --resume``: re-execute only what the
+    previous run did not complete.
+    """
+    completed = {entry.get("experiment_id")
+                 for entry in manifest.get("experiments", [])
+                 if entry.get("ok")}
+    return [eid for eid in requested if eid not in completed]
+
+
 def render_spans(manifest: dict) -> str:
     """Span summary of one manifest (the body of ``repro spans``)."""
     from repro.report.tables import format_table

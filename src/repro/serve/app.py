@@ -34,11 +34,15 @@ from __future__ import annotations
 import asyncio
 import contextvars
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.faults import sites as fault_sites
 from repro.obs import metrics, prometheus, spans
 from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder, build_span_tree
+from repro.resilience import (CircuitBreaker, Retry, RetryBudgetExceeded,
+                              Timeout)
 from repro.serve.coalesce import Coalescer
 from repro.serve.hot_cache import HotCache
 from repro.serve.service import ProfilingService, render_json
@@ -53,6 +57,12 @@ _LATENCY = metrics.histogram(
     "serve.request_seconds", "request wall-clock by route")
 _INFLIGHT = metrics.gauge(
     "serve.inflight", "computations currently pending or running")
+_STALE_SERVED = metrics.counter(
+    "resilience.stale_served",
+    "degraded responses served from last-known-good bytes")
+_DEGRADED = metrics.counter(
+    "resilience.degraded",
+    "degraded refusals (503/504) with no stale bytes to fall back on")
 
 #: Default worker threads: engine computes release the GIL inside NumPy
 #: for long stretches, but they are still CPU-heavy — a small pool.
@@ -63,6 +73,52 @@ DEFAULT_QUEUE_LIMIT = 32
 
 #: Seconds suggested to a shed client.
 RETRY_AFTER_S = 1
+
+#: Default breaker: a handful of consecutive compute failures opens the
+#: circuit; the next probe is admitted a few seconds later.
+DEFAULT_BREAKER_THRESHOLD = 5
+DEFAULT_BREAKER_RESET_S = 5.0
+
+#: Last-known-good entries kept for stale-while-revalidate degradation.
+STALE_STORE_ENTRIES = 4096
+
+#: Default serve-side retry: computes are seconds, so two quick retries
+#: absorb an injected transient without blowing the route budget.
+DEFAULT_SERVE_RETRY = Retry(max_attempts=3, base_delay_s=0.01,
+                            max_delay_s=0.1, deadline_s=10.0)
+
+
+class StaleStore:
+    """Last-known-good response bytes, kept beyond hot-cache eviction.
+
+    The hot cache is bytes-bounded and churns under load; this store is
+    entry-bounded LRU and *only* consulted when the engine cannot be
+    asked (breaker open, compute failed, budget expired) — stale bytes
+    are by construction a previously-correct rendering of the same
+    content-addressed key, so degrading to them can serve outdated
+    freshness but never wrong bytes.
+    """
+
+    def __init__(self, capacity: int = STALE_STORE_ENTRIES):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+
+    def get(self, key: str) -> bytes | None:
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: bytes) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass
@@ -97,19 +153,30 @@ class App:
                  hot_cache: HotCache | None = None,
                  flight: FlightRecorder | None = None,
                  flight_capacity: int = DEFAULT_CAPACITY,
-                 event_log: str | None = None):
+                 event_log: str | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 timeout: Timeout | None = None,
+                 retry: Retry | None = None):
         if workers <= 0:
             raise ValueError("workers must be positive")
         if queue_limit <= 0:
             raise ValueError("queue_limit must be positive")
         self.service = service if service is not None else ProfilingService()
         self.hot = hot_cache if hot_cache is not None else HotCache()
+        self.stale = StaleStore()
         self.coalescer = Coalescer()
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=DEFAULT_BREAKER_THRESHOLD,
+            reset_timeout_s=DEFAULT_BREAKER_RESET_S)
+        self.timeout = timeout if timeout is not None else Timeout()
+        self.retry = retry if retry is not None else DEFAULT_SERVE_RETRY
         self.queue_limit = queue_limit
         self.workers = workers
         self.executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve")
         self.inflight = 0
+        self.active_requests = 0
+        self.draining = False
         self.started = time.monotonic()
         self.flight = flight if flight is not None else FlightRecorder(
             capacity=flight_capacity, event_log=event_log)
@@ -120,6 +187,21 @@ class App:
         self.executor.shutdown(wait=False, cancel_futures=True)
         self.flight.uninstall()
 
+    async def drain(self, timeout_s: float = 30.0) -> bool:
+        """Graceful-shutdown half of SIGTERM handling: stop admitting
+        (``/readyz`` flips to 503, keep-alive connections close after
+        their in-flight response), wait for active requests to finish,
+        then flush the flight recorder's event log.  True if everything
+        finished inside ``timeout_s``.
+        """
+        self.draining = True
+        deadline = time.monotonic() + timeout_s
+        while self.active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        drained = self.active_requests == 0
+        self.flight.close()  # flushes + closes the event log
+        return drained
+
     # ---------------------------------------------------------------- handle
     async def handle(self, method: str, path: str,
                      body: bytes = b"") -> Response:
@@ -128,6 +210,7 @@ class App:
         route = "unknown"
         trace_id = ""
         meta = {"cache": "none"}
+        self.active_requests += 1
         with spans.span("serve.request", category="serve", method=method,
                         path=path) as request_span:
             if request_span is not None:
@@ -137,6 +220,8 @@ class App:
                 route, response = await self._route(method, path, body, meta)
             except Exception as error:  # the server must outlive any bug
                 response = _error(500, f"{type(error).__name__}: {error}")
+            finally:
+                self.active_requests -= 1
             spans.annotate(route=route, status=response.status,
                            cache=meta["cache"])
         duration_s = time.perf_counter() - start
@@ -154,6 +239,8 @@ class App:
                      meta: dict) -> tuple[str, Response]:
         if path == "/healthz":
             return "healthz", self._healthz(method)
+        if path == "/readyz":
+            return "readyz", self._readyz(method)
         if path == "/stats":
             return "stats", self._stats(method)
         if path == "/metrics":
@@ -179,7 +266,7 @@ class App:
         if path == "/grid":
             return "grid", await self._grid(method, body, meta)
         return "unknown", _error(404, f"no route for {path!r}", routes=[
-            "/healthz", "/stats", "/metrics", "/points",
+            "/healthz", "/readyz", "/stats", "/metrics", "/points",
             "/profile/<point>", "/perfetto/<point>", "/grid",
             "/debug/requests", "/debug/trace/<trace_id>"])
 
@@ -192,6 +279,19 @@ class App:
             "uptime_s": round(time.monotonic() - self.started, 3),
         })
 
+    def _readyz(self, method: str) -> Response:
+        """Readiness: 503 while draining so load balancers stop routing
+        here; the breaker state rides along for dashboards (an open
+        breaker still serves hot/stale bytes, so it stays *ready*)."""
+        if method != "GET":
+            return _error(405, "use GET")
+        payload = {
+            "ready": not self.draining,
+            "draining": self.draining,
+            "breaker": self.breaker.state,
+        }
+        return _json_response(503 if self.draining else 200, payload)
+
     def _stats(self, method: str) -> Response:
         if method != "GET":
             return _error(405, "use GET")
@@ -201,6 +301,9 @@ class App:
             "workers": self.workers,
             "queue_limit": self.queue_limit,
             "inflight": self.inflight,
+            "draining": self.draining,
+            "breaker": self.breaker.snapshot(),
+            "stale_entries": len(self.stale),
             "hot_cache": self.hot.snapshot(),
             "requests_by_route": _requests_by_route(snapshot),
             "route_latency": _route_latency(snapshot),
@@ -275,15 +378,27 @@ class App:
     # ----------------------------------------------------- cache + coalesce
     async def _cached(self, route: str, key: str, compute,
                       meta: dict) -> Response:
-        """Hot cache -> coalesce -> shed -> worker pool, in that order."""
+        """Hot cache -> breaker -> coalesce -> shed -> worker pool.
+
+        Degradation ladder when the engine cannot answer (breaker open,
+        compute failed after retries, route budget expired): stale bytes
+        from :class:`StaleStore` if the key was ever rendered — outdated
+        freshness, never wrong bytes — else 503/504 with ``Retry-After``.
+        """
         cached = self.hot.get(key)
         if cached is not None:
             meta["cache"] = "hot"
             return Response(200, cached)
 
         # No awaits between the leadership check and Coalescer.run:
-        # the decision is atomic on the event loop.
+        # the decision is atomic on the event loop.  The breaker guards
+        # *computations*, so only would-be leaders consult it (followers
+        # ride an admitted in-flight compute; hot hits skip it above).
         if self.coalescer.leader(key):
+            if not self.breaker.allow():
+                return self._degraded(
+                    route, key, meta, 503,
+                    "engine circuit breaker is open, retry shortly")
             if self.inflight >= self.queue_limit:
                 _SHED.inc(route=route)
                 meta["cache"] = "shed"
@@ -305,22 +420,70 @@ class App:
                 # Carry the open span stack (the leader's serve.request
                 # span) into the worker thread: engine spans opened by
                 # the compute parent into the request's trace instead of
-                # starting orphan traces.
+                # starting orphan traces.  The serve fault sites and the
+                # retry policy run inside the worker thread too, so an
+                # injected transient is absorbed without a loop stall.
                 context = contextvars.copy_context()
+
+                def _attempt() -> bytes:
+                    fault_sites.inject_delay("serve.slow")
+                    fault_sites.inject_failure("serve.fail")
+                    return render_json(compute())
+
                 rendered = await loop.run_in_executor(
                     self.executor,
-                    lambda: context.run(lambda: render_json(compute())))
+                    lambda: context.run(
+                        lambda: self.retry.call(_attempt, token=route)))
+            except BaseException:
+                self.breaker.record_failure()
+                raise
             finally:
                 self.inflight -= 1
                 _INFLIGHT.set(self.inflight)
             self.hot.put(key, rendered)
+            self.stale.put(key, rendered)
+            self.breaker.record_success()
             return rendered
 
+        budget_s = self.timeout.budget_s(route)
+        # acquire() is synchronous: no await separates the leader()
+        # check above from the table insertion, even under wait_for.
+        task = self.coalescer.acquire(key, leader_compute, route=route)
         try:
-            body = await self.coalescer.run(key, leader_compute, route=route)
+            if budget_s is not None:
+                body = await asyncio.wait_for(asyncio.shield(task),
+                                              timeout=budget_s)
+            else:
+                body = await asyncio.shield(task)
+        except asyncio.TimeoutError:
+            # This waiter's budget expired; the leader (shielded inside
+            # the coalescer) keeps running and will settle the breaker.
+            self.timeout.expired(route)
+            return self._degraded(
+                route, key, meta, 504,
+                f"{route} exceeded its {budget_s:g}s budget")
+        except RetryBudgetExceeded as error:
+            return self._degraded(route, key, meta, 503, str(error))
         except Exception as error:
             return _error(500, f"{type(error).__name__}: {error}")
         return Response(200, body)
+
+    def _degraded(self, route: str, key: str, meta: dict, status: int,
+                  reason: str) -> Response:
+        """Stale bytes when available, else ``status`` + ``Retry-After``."""
+        stale = self.stale.get(key)
+        if stale is not None:
+            meta["cache"] = "stale"
+            _STALE_SERVED.inc(route=route)
+            return Response(200, stale, headers={"X-Repro-Stale": "1"})
+        meta["cache"] = "degraded"
+        _DEGRADED.inc(route=route)
+        retry_after_s = max(round(self.breaker.retry_after_s()),
+                            RETRY_AFTER_S)
+        degraded = _error(status, f"service degraded: {reason}",
+                          retry_after_s=retry_after_s)
+        degraded.headers["Retry-After"] = str(retry_after_s)
+        return degraded
 
 
 # -------------------------------------------------- derived /stats sections

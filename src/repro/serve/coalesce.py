@@ -41,8 +41,43 @@ class Coalescer:
         return len(self._inflight)
 
     def leader(self, key: str) -> bool:
-        """Would a request for ``key`` start a new computation?"""
-        return key not in self._inflight
+        """Would a request for ``key`` start a new computation?
+
+        A finished task whose cleanup callback has not run yet counts as
+        absent — the next request for the key leads a fresh computation.
+        """
+        task = self._inflight.get(key)
+        return task is None or task.done()
+
+    def acquire(self, key: str, compute: Callable[[], Awaitable],
+                **labels) -> asyncio.Task:
+        """The shared in-flight task for ``key``, creating it if absent.
+
+        Synchronous on purpose: the caller checks :meth:`leader` and then
+        acquires with no ``await`` in between, so the decision and the
+        table insertion are one atomic step on the event loop — wrapping
+        the await in :func:`asyncio.wait_for` (which defers the coroutine
+        to a task) cannot open a window where a whole storm elects itself
+        leader.
+        """
+        task = self._inflight.get(key)
+        if task is not None and task.done():
+            # The pop-on-done callback is *scheduled*, not synchronous: a
+            # request landing in the microtask window between the task
+            # finishing and the callback running would attach to a spent
+            # task — and inherit a dead leader's exception even though a
+            # fresh computation could succeed.  Evict eagerly so a failed
+            # storm poisons exactly its own followers, never the key.
+            self._inflight.pop(key, None)
+            task = None
+        if task is None:
+            task = asyncio.ensure_future(compute())
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda _t, _key=key: self._inflight.pop(_key, None))
+        else:
+            _COALESCED.inc(**labels)
+        return task
 
     async def run(self, key: str, compute: Callable[[], Awaitable],
                   **labels):
@@ -54,12 +89,4 @@ class Coalescer:
         here).  Later callers attach to the existing task and increment
         ``serve.coalesced``.
         """
-        task = self._inflight.get(key)
-        if task is None:
-            task = asyncio.ensure_future(compute())
-            self._inflight[key] = task
-            task.add_done_callback(
-                lambda _t, _key=key: self._inflight.pop(_key, None))
-        else:
-            _COALESCED.inc(**labels)
-        return await asyncio.shield(task)
+        return await asyncio.shield(self.acquire(key, compute, **labels))

@@ -11,6 +11,7 @@ a handler can never raise (the app converts everything to JSON errors).
 from __future__ import annotations
 
 import asyncio
+import signal
 from urllib.parse import unquote, urlsplit
 
 from repro.serve.app import App, Response
@@ -25,6 +26,7 @@ _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -102,6 +104,9 @@ async def handle_connection(app: App, reader: asyncio.StreamReader,
                 return
             method, path, body, close = request
             response = await app.handle(method, path, body)
+            # A draining server answers the in-flight request but ends
+            # the keep-alive session, steering the client elsewhere.
+            close = close or app.draining
             writer.write(_render(response, keep_alive=not close))
             await writer.drain()
             if close:
@@ -130,7 +135,12 @@ def server_address(server: asyncio.AbstractServer) -> tuple[str, int]:
 
 
 def run_server(app: App, host: str = "127.0.0.1", port: int = 8321) -> None:
-    """Blocking entry point used by ``repro serve`` (Ctrl-C to stop)."""
+    """Blocking entry point used by ``repro serve``.
+
+    Ctrl-C stops immediately; SIGTERM drains gracefully — the listener
+    closes (no new connections), in-flight requests finish, and the
+    flight recorder's event log is flushed before the process exits.
+    """
 
     async def _serve() -> None:
         server = await create_server(app, host, port)
@@ -138,14 +148,34 @@ def run_server(app: App, host: str = "127.0.0.1", port: int = 8321) -> None:
         print(f"repro serve: listening on http://{bound_host}:{bound_port} "
               f"(workers={app.workers}, queue_limit={app.queue_limit}, "
               f"hot_cache={app.hot.capacity_bytes // (1024 * 1024)}MB)")
-        print("endpoints: /healthz /stats /metrics /points "
+        print("endpoints: /healthz /readyz /stats /metrics /points "
               "/profile/<point> /perfetto/<point> POST /grid "
               "/debug/requests /debug/trace/<trace_id>")
         if app.flight.event_log_path is not None:
             print(f"event log: {app.flight.event_log_path} "
                   "(inspect with `repro flight`)")
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix event loops: Ctrl-C remains the only stop
         async with server:
-            await server.serve_forever()
+            serve_task = asyncio.ensure_future(server.serve_forever())
+            stop_task = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait({serve_task, stop_task},
+                                   return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                serve_task.cancel()
+                stop_task.cancel()
+            if stop.is_set():
+                print("repro serve: SIGTERM, draining")
+                server.close()
+                drained = await app.drain()
+                print("repro serve: drained" if drained
+                      else "repro serve: drain timed out")
 
     try:
         asyncio.run(_serve())

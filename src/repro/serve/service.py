@@ -29,6 +29,7 @@ from repro.config import (BERT_BASE, BERT_LARGE, BERT_TINY, C1, C2, C3,
                           BertConfig, Precision, TrainingConfig)
 from repro.experiments.common import default_device, run_point
 from repro.experiments.points import POINT_REGISTRY
+from repro.faults import sites as fault_sites
 from repro.obs import spans
 from repro.hw.device import DeviceModel
 from repro.profiler.breakdown import (component_breakdown, region_breakdown,
@@ -117,6 +118,8 @@ class ProfilingService:
         """
         model, training = POINT_REGISTRY[point]
         with spans.span("profile.run", category="serve", point=point):
+            fault_sites.inject("compute.slow")
+            fault_sites.inject_failure("compute.fail")
             _, profile = run_point(model, training, self.device)
             payload = self._profile_payload_of(point, model, training,
                                                profile)
@@ -159,6 +162,8 @@ class ProfilingService:
 
         model, training = POINT_REGISTRY[point]
         with spans.span("perfetto.run", category="serve", point=point):
+            fault_sites.inject("compute.slow")
+            fault_sites.inject_failure("compute.fail")
             _, profile = run_point(model, training, self.device)
             return profile_to_chrome_trace(
                 profile, label=f"{model.name} {training.label}")
@@ -205,6 +210,8 @@ class ProfilingService:
 
         with spans.span("grid.run", category="serve", model=model.name,
                         points=len(trainings)):
+            fault_sites.inject("compute.slow")
+            fault_sites.inject_failure("compute.fail")
             rows = grid_sweep(model, trainings, self.device)
         return {
             "model": model.name,

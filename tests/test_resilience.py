@@ -1,0 +1,269 @@
+"""Resilience policies: retry, circuit breaker, timeout budgets.
+
+The hypothesis properties pin the guarantees the chaos subsystem leans
+on: fault schedules are a pure function of the seed (same seed — same
+schedule, different seed — different schedule somewhere), and a retry
+policy with a deadline *never* sleeps past it, proven on a fake clock
+so the test costs no wall-time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.sites import InjectedFault
+from repro.resilience.breaker import (CLOSED, HALF_OPEN, OPEN,
+                                      CircuitBreaker)
+from repro.resilience.retry import (Retry, RetryBudgetExceeded,
+                                    TransientError)
+from repro.resilience.timeout import Deadline, Timeout
+
+seeds = st.integers(0, 2 ** 32 - 1)
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by fake sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestScheduleProperties:
+    @given(seed=seeds, rate=st.floats(0.01, 0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_same_seed_same_schedule(self, seed, rate):
+        rule = FaultRule("worker.kill", rate=rate)
+        a = FaultPlan([rule], seed=seed)
+        b = FaultPlan([rule], seed=seed)
+        assert a.schedule("worker.kill", 128) == b.schedule(
+            "worker.kill", 128)
+
+    @given(seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_different_seeds_differ(self, seed):
+        rule = FaultRule("worker.kill", rate=0.5)
+        a = FaultPlan([rule], seed=seed)
+        b = FaultPlan([rule], seed=seed + 1)
+        # 256 draws at rate 0.5: identical schedules from unrelated
+        # seeds would need a 2^-256 coincidence.
+        assert a.schedule("worker.kill", 256) != b.schedule(
+            "worker.kill", 256)
+
+    @given(seed=seeds, attempts=st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_backoff_is_pure_and_capped(self, seed, attempts):
+        policy = Retry(max_attempts=attempts, base_delay_s=0.05,
+                       max_delay_s=0.4, seed=seed)
+        delays = policy.delays("token")
+        assert delays == policy.delays("token")
+        assert all(0.0 <= d <= 0.4 for d in delays)
+
+    @given(seed=seeds,
+           deadline_s=st.floats(0.05, 5.0),
+           attempts=st.integers(1, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_retry_never_exceeds_deadline(self, seed, deadline_s, attempts):
+        clock = FakeClock()
+        policy = Retry(max_attempts=attempts, base_delay_s=0.1,
+                       max_delay_s=2.0, deadline_s=deadline_s, seed=seed)
+
+        def always_fails():
+            raise TransientError("nope")
+
+        with pytest.raises(RetryBudgetExceeded):
+            policy.call(always_fails, token="t", sleep=clock.sleep,
+                        clock=clock)
+        assert clock.now <= deadline_s
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        clock = FakeClock()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientError("again")
+            return "done"
+
+        policy = Retry(max_attempts=4, base_delay_s=0.01, seed=0)
+        assert policy.call(flaky, sleep=clock.sleep,
+                           clock=clock) == "done"
+        assert len(calls) == 3
+        assert len(clock.sleeps) == 2
+
+    def test_non_transient_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("a real bug")
+
+        with pytest.raises(ValueError):
+            Retry(max_attempts=5).call(broken, sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_exhaustion_wraps_the_last_error(self):
+        def always_fails():
+            raise TransientError("persistent")
+
+        policy = Retry(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+        with pytest.raises(RetryBudgetExceeded) as caught:
+            policy.call(always_fails, sleep=lambda _s: None)
+        assert caught.value.attempts == 3
+        assert isinstance(caught.value.last, TransientError)
+
+    def test_injected_faults_are_transient_by_default(self):
+        plan = FaultPlan.parse("s:1", seed=0)
+        decision = plan.decide("s")
+        calls = []
+
+        def faulted_once():
+            calls.append(1)
+            if len(calls) == 1:
+                raise InjectedFault(decision)
+            return "ok"
+
+        assert Retry(max_attempts=2, base_delay_s=0.0).call(
+            faulted_once, sleep=lambda _s: None) == "ok"
+
+    def test_on_retry_sees_each_retried_attempt(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise TransientError("x")
+            return True
+
+        Retry(max_attempts=4, base_delay_s=0.0).call(
+            flaky, sleep=lambda _s: None,
+            on_retry=lambda attempt, error: seen.append(attempt))
+        assert seen == [0, 1]
+
+    def test_deadline_cuts_before_the_sleep(self):
+        clock = FakeClock()
+        policy = Retry(max_attempts=10, base_delay_s=1.0, jitter=0.0,
+                       deadline_s=2.5)
+
+        def always_fails():
+            raise TransientError("nope")
+
+        with pytest.raises(RetryBudgetExceeded):
+            policy.call(always_fails, sleep=clock.sleep, clock=clock)
+        # Slept 1s, then 2s; the next 2s backoff would pass 2.5s.
+        assert clock.now <= 2.5
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(failure_threshold=3, reset_timeout_s=10.0,
+                        clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self._breaker()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_rejects_until_reset_timeout(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock.now += 10.0
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 10.0
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else waits
+
+    def test_probe_success_closes(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        assert breaker.opens == 2
+
+    def test_snapshot_shape(self):
+        breaker, _ = self._breaker()
+        snapshot = breaker.snapshot()
+        assert snapshot == {
+            "state": CLOSED, "consecutive_failures": 0,
+            "failure_threshold": 3, "reset_timeout_s": 10.0, "opens": 0,
+        }
+
+
+class TestTimeout:
+    def test_route_budgets_and_default(self):
+        timeout = Timeout(budgets_s={"profile": 1.0}, default_s=5.0)
+        assert timeout.budget_s("profile") == 1.0
+        assert timeout.budget_s("anything-else") == 5.0
+
+    def test_none_default_means_unlimited(self):
+        timeout = Timeout(budgets_s={}, default_s=None)
+        assert timeout.budget_s("grid") is None
+
+    def test_scaled_shrinks_everything(self):
+        timeout = Timeout(budgets_s={"profile": 30.0}, default_s=60.0)
+        tiny = timeout.scaled(0.001)
+        assert tiny.budget_s("profile") == pytest.approx(0.03)
+        assert tiny.budget_s("other") == pytest.approx(0.06)
+
+    def test_deadline_arithmetic(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining_s() == pytest.approx(2.0)
+        clock.now += 1.5
+        assert deadline.remaining_s() == pytest.approx(0.5)
+        assert not deadline.expired()
+        clock.now += 1.0
+        assert deadline.remaining_s() == 0.0
+        assert deadline.expired()
+
+    def test_deadline_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)

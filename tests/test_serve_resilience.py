@@ -1,0 +1,262 @@
+"""Serve-path resilience: breaker, stale degradation, timeouts, drain.
+
+Driven through the transport-agnostic :class:`repro.serve.App` where
+event-loop scheduling is deterministic.  The regression centerpiece is
+the failing-leader storm: when the leader of a 100-client coalesced
+storm dies, its whole storm shares the one error — and the *next*
+request for the same key computes fresh (the key is never poisoned).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.faults import sites
+from repro.faults.plan import FaultPlan
+from repro.obs import metrics
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import Retry
+from repro.resilience.timeout import Timeout
+from repro.serve import App, HotCache
+
+TINY = "tiny.ph1-b2-fp32"
+
+_COMPUTATIONS = metrics.counter("serve.computations")
+_STALE = metrics.counter("resilience.stale_served")
+_TIMEOUTS = metrics.counter("resilience.timeouts")
+_RETRIES = metrics.counter("resilience.retries")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(autouse=True)
+def no_active_plan():
+    sites.deactivate()
+    yield
+    sites.deactivate()
+
+
+def make_app(**kwargs):
+    defaults = dict(workers=2, queue_limit=64, hot_cache=HotCache())
+    defaults.update(kwargs)
+    return App(**defaults)
+
+
+class TestFailingLeaderStorm:
+    def test_storm_shares_the_error_but_key_is_not_poisoned(self):
+        app = make_app()
+        try:
+            calls = {"n": 0}
+            real = app.service.profile_payload
+
+            def dies_once(point):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("leader died mid-compute")
+                return real(point)
+
+            app.service.profile_payload = dies_once
+            computed_before = _COMPUTATIONS.value(route="profile")
+
+            async def storm():
+                return await asyncio.gather(*(
+                    app.handle("GET", f"/profile/{TINY}")
+                    for _ in range(100)))
+
+            responses = run(storm())
+            # One computation, one death, 100 shared failures.
+            assert [r.status for r in responses] == [500] * 100
+            assert calls["n"] == 1
+            assert (_COMPUTATIONS.value(route="profile")
+                    - computed_before == 1)
+
+            # The failed task must not poison the key: the very next
+            # request leads a fresh computation and succeeds.
+            follow_up = run(app.handle("GET", f"/profile/{TINY}"))
+            assert follow_up.status == 200
+            assert calls["n"] == 2
+        finally:
+            app.close()
+
+
+class TestBreakerDegradation:
+    def test_open_breaker_serves_stale_bytes(self):
+        app = make_app(breaker=CircuitBreaker(failure_threshold=1,
+                                              reset_timeout_s=60.0))
+        try:
+            good = run(app.handle("GET", f"/profile/{TINY}"))
+            assert good.status == 200
+
+            app.hot = HotCache()  # hot bytes gone, stale store keeps its copy
+            app.breaker.record_failure()
+            assert app.breaker.state == "open"
+            stale_before = _STALE.value(route="profile")
+
+            degraded = run(app.handle("GET", f"/profile/{TINY}"))
+            assert degraded.status == 200
+            assert degraded.headers.get("X-Repro-Stale") == "1"
+            assert degraded.body == good.body  # outdated, never wrong
+            assert _STALE.value(route="profile") - stale_before == 1
+        finally:
+            app.close()
+
+    def test_open_breaker_without_stale_is_503_with_retry_after(self):
+        app = make_app(breaker=CircuitBreaker(failure_threshold=1,
+                                              reset_timeout_s=60.0))
+        try:
+            app.breaker.record_failure()
+            response = run(app.handle("GET", f"/profile/{TINY}"))
+            assert response.status == 503
+            assert int(response.headers["Retry-After"]) >= 1
+            payload = json.loads(response.body)
+            assert "breaker" in payload["error"]
+        finally:
+            app.close()
+
+    def test_breaker_state_in_stats_and_readyz(self):
+        app = make_app()
+        try:
+            stats = json.loads(run(app.handle("GET", "/stats")).body)
+            assert stats["breaker"]["state"] == "closed"
+            assert stats["draining"] is False
+            ready = json.loads(run(app.handle("GET", "/readyz")).body)
+            assert ready == {"ready": True, "draining": False,
+                             "breaker": "closed"}
+        finally:
+            app.close()
+
+
+class TestInjectedServeFaults:
+    def test_transient_injection_absorbed_by_retry(self):
+        # A seed whose serve.fail schedule injects occurrence 0 only:
+        # the first attempt dies, the in-place retry answers 200.
+        seed = next(s for s in range(1000)
+                    if FaultPlan.parse("serve.fail:0.5", seed=s)
+                    .schedule("serve.fail", 3) == [0])
+        sites.activate(FaultPlan.parse("serve.fail:0.5", seed=seed))
+        app = make_app(retry=Retry(max_attempts=3, base_delay_s=0.001,
+                                   max_delay_s=0.01))
+        try:
+            retries_before = _RETRIES.value(site="profile")
+            response = run(app.handle("GET", f"/profile/{TINY}"))
+            assert response.status == 200
+            assert _RETRIES.value(site="profile") - retries_before == 1
+            assert app.breaker.state == "closed"
+        finally:
+            app.close()
+
+    def test_persistent_injection_exhausts_retries_to_503(self):
+        sites.activate(FaultPlan.parse("serve.fail:1", seed=0))
+        app = make_app(retry=Retry(max_attempts=2, base_delay_s=0.001,
+                                   max_delay_s=0.01))
+        try:
+            response = run(app.handle("GET", f"/profile/{TINY}"))
+            assert response.status == 503
+            assert "Retry-After" in response.headers
+        finally:
+            app.close()
+
+    def test_persistent_injection_with_stale_degrades_to_200(self):
+        app = make_app(retry=Retry(max_attempts=2, base_delay_s=0.001,
+                                   max_delay_s=0.01))
+        try:
+            good = run(app.handle("GET", f"/profile/{TINY}"))
+            assert good.status == 200
+            app.hot = HotCache()
+            sites.activate(FaultPlan.parse("serve.fail:1", seed=0))
+            degraded = run(app.handle("GET", f"/profile/{TINY}"))
+            assert degraded.status == 200
+            assert degraded.headers.get("X-Repro-Stale") == "1"
+            assert degraded.body == good.body
+        finally:
+            app.close()
+
+
+class TestTimeouts:
+    def test_budget_expiry_is_504(self):
+        app = make_app(timeout=Timeout(budgets_s={}, default_s=0.05))
+        try:
+            def stuck(point):
+                import time
+                time.sleep(0.5)
+                return {"point": point}
+
+            app.service.profile_payload = stuck
+            timeouts_before = _TIMEOUTS.value(route="profile")
+            response = run(app.handle("GET", f"/profile/{TINY}"))
+            assert response.status == 504
+            assert _TIMEOUTS.value(route="profile") - timeouts_before == 1
+        finally:
+            app.close()
+
+    def test_budget_expiry_with_stale_degrades_to_200(self):
+        app = make_app(timeout=Timeout(budgets_s={}, default_s=0.05))
+        try:
+            good = run(app.handle("GET", f"/profile/{TINY}"))
+            app.hot = HotCache()
+
+            def stuck(point):
+                import time
+                time.sleep(0.5)
+                return {"point": point}
+
+            app.service.profile_payload = stuck
+            response = run(app.handle("GET", f"/profile/{TINY}"))
+            assert response.status == 200
+            assert response.headers.get("X-Repro-Stale") == "1"
+            assert response.body == good.body
+        finally:
+            app.close()
+
+
+class TestDrain:
+    def test_drain_flips_readyz_and_flushes_the_event_log(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        app = make_app(event_log=str(log))
+        try:
+            async def scenario():
+                ok = await app.handle("GET", f"/profile/{TINY}")
+                assert ok.status == 200
+                drained = await app.drain(timeout_s=5.0)
+                assert drained
+                refused = await app.handle("GET", "/readyz")
+                return refused
+
+            refused = run(scenario())
+            assert refused.status == 503
+            assert json.loads(refused.body)["draining"] is True
+            lines = [json.loads(line)
+                     for line in log.read_text().splitlines()]
+            assert any(entry.get("route") == "profile" for entry in lines)
+        finally:
+            app.close()
+
+    def test_drain_waits_for_active_requests(self):
+        app = make_app()
+        try:
+            async def scenario():
+                real = app.service.profile_payload
+
+                def slow(point):
+                    import time
+                    time.sleep(0.1)
+                    return real(point)
+
+                app.service.profile_payload = slow
+                request = asyncio.ensure_future(
+                    app.handle("GET", f"/profile/{TINY}"))
+                await asyncio.sleep(0.01)  # let it become active
+                assert app.active_requests == 1
+                drained = await app.drain(timeout_s=5.0)
+                response = await request
+                return drained, response
+
+            drained, response = run(scenario())
+            assert drained
+            assert response.status == 200
+            assert app.active_requests == 0
+        finally:
+            app.close()
